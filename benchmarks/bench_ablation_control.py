@@ -1,0 +1,60 @@
+"""Ablation: Table-1 stability under smaller control samples.
+
+DESIGN.md §5.4 — the paper samples a control group equal in size to the
+241K re-registered set. How small can the control get before the
+headline findings (income separation, dictionary preference) lose
+significance? The strong features should survive even quarter-size
+controls; the near-tie features are the first to go.
+"""
+
+from __future__ import annotations
+
+from repro.core import compare_groups, sample_control_group, study_groups
+from repro.core.comparison import feature_rows_for
+from repro.core.stats import welch_t_test
+
+
+def test_ablation_control_size(benchmark, dataset, oracle) -> None:
+    reregistered, full_control = study_groups(dataset, seed=0)
+    rereg_rows = feature_rows_for(dataset, reregistered, oracle)
+    full_size = len(full_control)
+
+    def _significance_by_fraction():
+        results = {}
+        for fraction in (1.0, 0.5, 0.25, 0.1):
+            size = max(4, int(full_size * fraction))
+            control = sample_control_group(dataset, size, seed=1)
+            control_rows = feature_rows_for(dataset, control, oracle)
+            income_test = welch_t_test(
+                [row.income_usd for row in rereg_rows],
+                [row.income_usd for row in control_rows],
+            )
+            senders_test = welch_t_test(
+                [float(row.num_unique_senders) for row in rereg_rows],
+                [float(row.num_unique_senders) for row in control_rows],
+            )
+            results[fraction] = (size, income_test, senders_test)
+        return results
+
+    results = benchmark.pedantic(_significance_by_fraction, rounds=3)
+
+    print("\nAblation — control group size vs significance")
+    print(f"  {'fraction':>8s} {'n':>5s} {'income p':>12s} {'senders p':>12s}")
+    for fraction, (size, income_test, senders_test) in sorted(results.items()):
+        print(f"  {fraction:8.2f} {size:5d} {income_test.p_value:12.2e}"
+              f" {senders_test.p_value:12.2e}")
+
+    # the strongly-separated features stay significant at half-size
+    for fraction in (1.0, 0.5):
+        _, income_test, senders_test = results[fraction]
+        assert senders_test.significant
+    _, income_full, _ = results[1.0]
+    assert income_full.significant
+
+    # p-values do not explode catastrophically as the control shrinks:
+    # a quarter-size control still carries the unique-senders signal
+    # (a 10% control — a couple dozen domains — is legitimately noisy)
+    _, _, senders_quarter = results[0.25]
+    assert senders_quarter.p_value < 0.1
+    _, income_small, _ = results[0.1]
+    assert income_small.p_value < 0.1  # income is the most robust signal

@@ -1,0 +1,64 @@
+"""Ablation: how the conservative loss-detector predicates matter.
+
+DESIGN.md §5.1 — relaxing either strict predicate (prior relationship
+during ownership; never-again-to-a1) admits more flows but trades away
+precision against ground truth. The strict configuration should have
+(near-)zero false positives; relaxed ones measurably more.
+"""
+
+from __future__ import annotations
+
+from repro.core import detect_losses
+
+
+def _truth_stats(report, truth_hashes):
+    """(precision, detected count, false-positive count)."""
+    detected = {tx.tx_hash for flow in report.flows for tx in flow.txs_to_new}
+    if not detected:
+        return 1.0, 0, 0
+    false_positives = len(detected - truth_hashes)
+    return 1.0 - false_positives / len(detected), len(detected), false_positives
+
+
+def test_ablation_loss_heuristic(benchmark, dataset, oracle, rereg_events, world) -> None:
+    truth = world.truth.misdirected_tx_hashes
+
+    def _run_all_variants():
+        return {
+            "strict": detect_losses(dataset, oracle, events=rereg_events),
+            "no_prior": detect_losses(
+                dataset, oracle, events=rereg_events,
+                require_prior_relationship=False,
+            ),
+            "no_never_again": detect_losses(
+                dataset, oracle, events=rereg_events,
+                enforce_never_again=False,
+            ),
+            "fully_relaxed": detect_losses(
+                dataset, oracle, events=rereg_events,
+                require_prior_relationship=False,
+                enforce_never_again=False,
+            ),
+        }
+
+    variants = benchmark.pedantic(_run_all_variants, rounds=3)
+
+    print("\nAblation — loss-detector predicates")
+    print(f"  {'variant':16s} {'txs':>6s} {'precision':>10s} {'FPs':>5s}")
+    stats = {}
+    for name, report in variants.items():
+        precision, detected, fps = _truth_stats(report, truth)
+        stats[name] = (precision, fps)
+        print(f"  {name:16s} {report.misdirected_tx_count:6d}"
+              f" {precision:10.1%} {fps:5d}")
+
+    strict = variants["strict"]
+    relaxed = variants["fully_relaxed"]
+    # relaxation only ever adds flows...
+    assert strict.misdirected_tx_count <= relaxed.misdirected_tx_count
+    # ...and therefore can only add false positives
+    assert stats["strict"][1] <= stats["no_prior"][1]
+    assert stats["strict"][1] <= stats["no_never_again"][1]
+    assert stats["strict"][1] <= stats["fully_relaxed"][1]
+    # the strict configuration stays essentially exact
+    assert stats["strict"][0] >= 0.95

@@ -1,0 +1,49 @@
+"""Extension: the paper's future work — losses from vendor resolution logs.
+
+§6 of the paper: wallet vendors declined to share resolution data, so
+the authors could only bound losses conservatively and "anticipate that
+our methodology is most likely to underestimate the total financial
+losses". Our simulated wallets emit exactly that log, so we run the
+wished-for analysis and put a number on the underestimate.
+"""
+
+from __future__ import annotations
+
+from repro.core import detect_losses
+from repro.core.authoritative import (
+    assess_conservative_heuristic,
+    authoritative_losses,
+)
+
+
+def test_authoritative_vs_conservative(benchmark, world, dataset, oracle, rereg_events) -> None:
+    authoritative = benchmark(authoritative_losses, world.resolution_log)
+    conservative = detect_losses(
+        dataset, oracle, include_coinbase=True, events=rereg_events
+    )
+    assessment = assess_conservative_heuristic(authoritative, conservative)
+
+    print("\nExtension — vendor-log (authoritative) loss quantification")
+    print(f"  resolutions examined: {authoritative.resolutions_examined}")
+    print(f"  authoritative misdirected txs: {assessment.authoritative_txs}"
+          f" over {authoritative.affected_names} names,"
+          f" {authoritative.unique_senders} senders")
+    print(f"  conservative (on-chain) txs:   {assessment.conservative_txs}")
+    print(f"  overlap: {assessment.overlap_txs}")
+    print(f"  heuristic precision: {assessment.precision:.1%}")
+    print(f"  heuristic coverage:  {assessment.coverage:.1%}")
+    print(f"  undercount factor:   {assessment.undercount_factor:.2f}x"
+          f"  (the paper's 'most likely underestimates', quantified)")
+
+    # the vendor log confirms the paper's two §6 claims:
+    # (1) the conservative heuristic is precise...
+    assert assessment.precision >= 0.90
+    # (2) ...and it genuinely undercounts the true losses
+    assert assessment.undercount_factor >= 1.0
+    assert assessment.authoritative_txs >= assessment.overlap_txs
+
+    # internal consistency: the authoritative set matches the simulation's
+    # own ground truth almost exactly (both derive from resolution routing)
+    truth = world.truth.misdirected_tx_hashes
+    symmetric_difference = authoritative.tx_hashes ^ truth
+    assert len(symmetric_difference) <= 0.05 * max(1, len(truth))

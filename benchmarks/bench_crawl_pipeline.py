@@ -1,0 +1,45 @@
+"""§3: the data-collection pipeline — coverage and effort.
+
+Paper numbers: 3.1M domains crawled with a 99.9% recovery rate (34K
+lost to API limitations) and 9.7M transactions. We reproduce the
+pipeline run and its coverage accounting at simulation scale.
+"""
+
+from __future__ import annotations
+
+
+def test_crawl_pipeline(benchmark, world) -> None:
+    def _run():
+        return world.build_pipeline().run(crawl_timestamp=world.end_timestamp)
+
+    dataset, report = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    print("\n§3 — data collection")
+    print(f"  domains crawled: {report.domains_crawled}"
+          f" | unrecoverable: {report.domains_missing}")
+    print(f"  recovery rate: {report.recovery_rate:.3%} (paper: 99.9%)")
+    print(f"  subdomains: {report.subdomains_total}"
+          f" (paper: 846,752 ≈ 0.27/domain; ours:"
+          f" {report.subdomains_total / max(1, report.domains_crawled):.2f})")
+    print(f"  wallet addresses: {report.wallet_addresses}")
+    print(f"  transactions: {report.transactions_crawled}"
+          f" (paper: 9,725,874 at mainnet scale)")
+    print(f"  market events: {report.market_events_crawled}")
+    print(f"  subgraph pages: {report.subgraph_pages}"
+          f" | explorer requests: {report.explorer_requests}"
+          f" (retries: {report.explorer_retries})"
+          f" | opensea requests: {report.opensea_requests}")
+
+    # shape 1: high but imperfect recovery, like the paper's 99.9%
+    assert 0.99 <= report.recovery_rate < 1.0 or report.domains_missing == 0
+
+    # shape 2: the dataset validates and transactions dominate domains
+    dataset.validate()
+    assert report.transactions_crawled > report.domains_crawled
+
+    # shape 3: cursor pagination actually paged
+    assert report.subgraph_pages >= report.domains_crawled // 1000
+
+    # shape 4: subdomains exist at roughly the paper's per-domain rate
+    per_domain = report.subdomains_total / max(1, report.domains_crawled)
+    assert 0.05 <= per_domain <= 1.0  # paper: ≈0.27

@@ -1,0 +1,40 @@
+"""Figure 11 (appendix): the Figure-9 scatter, non-custodial senders only.
+
+Paper shape: same one-to-one mode; strictly fewer points than Figure 9
+(484 vs 940 affected domains at mainnet scale) because Coinbase senders
+are removed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import detect_losses
+
+
+def test_fig11_noncustodial_scatter(benchmark, dataset, oracle, rereg_events) -> None:
+    report = benchmark(
+        detect_losses, dataset, oracle, False, rereg_events
+    )
+
+    points = report.scatter_points()
+    frequency = Counter((to_a1, to_a2) for to_a1, to_a2, _ in points)
+    print("\nFigure 11 — (txs c→a1, txs c→a2), non-custodial senders only")
+    for (to_a1, to_a2), count in frequency.most_common(10):
+        print(f"  ({to_a1:3d}, {to_a2:3d})  x{count}")
+    print(f"  flows: {len(points)}"
+          f" | affected domains: {report.affected_domains}"
+          f" (paper: 484 vs 940 with Coinbase)")
+
+    # shape 1: no coinbase senders in this variant
+    assert not any(is_cb for _, _, is_cb in points)
+
+    # shape 2: one-to-one mode persists
+    assert frequency.most_common(1)[0][0] == (1, 1)
+
+    # shape 3: this is a strict subset of the Figure-9 population
+    with_coinbase = detect_losses(
+        dataset, oracle, include_coinbase=True, events=rereg_events
+    )
+    assert report.misdirected_tx_count <= with_coinbase.misdirected_tx_count
+    assert report.affected_domains <= with_coinbase.affected_domains

@@ -1,0 +1,38 @@
+"""Figure 2: monthly registrations, expirations, re-registrations.
+
+Paper shape: an expiration spike around the May-2020 migration deadline,
+registrations rising until late 2022 then declining, and a comparatively
+flat re-registration series.
+"""
+
+from __future__ import annotations
+
+from repro.core import monthly_timeline
+
+
+def test_fig2_timeline(benchmark, dataset) -> None:
+    timeline = benchmark(monthly_timeline, dataset)
+
+    print("\nFigure 2 — month, registrations, expirations, re-registrations")
+    for month, registrations, expirations, rereg in timeline.as_rows():
+        print(f"  {month}  reg={registrations:5d}  exp={expirations:5d}  rereg={rereg:4d}")
+    print(f"  peak monthly re-registrations: {timeline.peak_monthly_reregistrations()}"
+          f"  (paper: 25,193 at mainnet scale)")
+
+    by_month_exp = dict(zip(timeline.months, timeline.expirations))
+    by_month_reg = dict(zip(timeline.months, timeline.registrations))
+
+    # shape 1: the 2020-05 migration deadline produces an expiration wave
+    median_exp = sorted(timeline.expirations)[len(timeline.expirations) // 2]
+    assert by_month_exp.get("2020-05", 0) > 2 * max(1, median_exp)
+
+    # shape 2: registrations rise into 2022 then decline in 2023
+    reg_2020 = sum(v for m, v in by_month_reg.items() if m.startswith("2020"))
+    reg_2022 = sum(v for m, v in by_month_reg.items() if m.startswith("2022"))
+    reg_2023 = sum(v for m, v in by_month_reg.items() if m.startswith("2023"))
+    assert reg_2022 > reg_2020
+    assert reg_2023 / 9 < reg_2022 / 12  # monthly rate declines
+
+    # shape 3: re-registrations occur throughout the window
+    nonzero_months = sum(1 for v in timeline.reregistrations if v > 0)
+    assert nonzero_months >= 12

@@ -1,0 +1,40 @@
+"""Figure 5: CDF of re-registrations per unique address.
+
+Paper shape: most addresses caught a single name, a heavy concentration
+tail (19,763 addresses with more than one; top three with 5,070 / 3,165
+/ 2,421) — i.e. whales dominate the market.
+"""
+
+from __future__ import annotations
+
+from repro.core import actor_concentration
+
+
+def test_fig5_actor_concentration(benchmark, dataset, rereg_events) -> None:
+    actors = benchmark(actor_concentration, dataset, rereg_events)
+
+    print("\nFigure 5 — CDF of catches per address")
+    for count, fraction in actors.cdf_points():
+        print(f"  ≤{count:4d} catches: {fraction:6.1%}")
+    top = actors.top(3)
+    print(f"  unique catchers: {actors.unique_catchers}")
+    print(f"  with multiple catches: {actors.addresses_with_multiple_catches}"
+          f" (paper: 19,763)")
+    print(f"  top-3 whales: {[count for _, count in top]}"
+          f" (paper: [5070, 3165, 2421])")
+    print(f"  gini: {actors.gini():.2f}")
+
+    # shape 1: concentration — top whale holds a large multiple of median
+    counts = sorted(actors.catches_by_address.values())
+    median = counts[len(counts) // 2]
+    assert top[0][1] >= 5 * median
+
+    # shape 2: top-3 ordering roughly geometric like the paper's 5070:3165:2421
+    assert top[0][1] > top[1][1] > top[2][1]
+    ratio_paper = 5070 / 2421  # ≈ 2.1
+    ratio_ours = top[0][1] / top[2][1]
+    assert 1.2 <= ratio_ours <= 6.0, f"whale ratio {ratio_ours}"
+
+    # shape 3: multiple-catch addresses are a substantial minority
+    assert actors.addresses_with_multiple_catches >= 3
+    assert actors.gini() > 0.25

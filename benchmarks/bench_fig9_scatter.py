@@ -1,0 +1,35 @@
+"""Figure 9: #txs from c to a1 vs to a2 (Coinbase + non-custodial c).
+
+Paper shape: the modal relationship is one-to-one (a sender paid the
+old owner once, then the new owner once); many-to-one and many-to-many
+points exist but are rarer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import detect_losses
+
+
+def test_fig9_tx_count_scatter(benchmark, dataset, oracle, rereg_events) -> None:
+    report = benchmark(
+        detect_losses, dataset, oracle, True, rereg_events
+    )
+
+    points = report.scatter_points()
+    frequency = Counter((to_a1, to_a2) for to_a1, to_a2, _ in points)
+    print("\nFigure 9 — (txs c→a1, txs c→a2) frequency, Coinbase + non-custodial")
+    for (to_a1, to_a2), count in frequency.most_common(12):
+        print(f"  ({to_a1:3d}, {to_a2:3d})  x{count}")
+    coinbase_points = sum(1 for _, _, is_cb in points if is_cb)
+    print(f"  flows: {len(points)} (coinbase senders: {coinbase_points})")
+
+    # shape 1: one-to-one is the modal relationship
+    assert frequency.most_common(1)[0][0] == (1, 1)
+
+    # shape 2: many-to-one relationships exist (loyal senders who switched)
+    assert any(to_a1 >= 3 and to_a2 >= 1 for to_a1, to_a2, _ in points)
+
+    # shape 3: Coinbase senders appear in this variant
+    assert coinbase_points >= 1

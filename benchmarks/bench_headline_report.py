@@ -1,0 +1,53 @@
+"""Headline: every §4 number in one pass, next to the paper's values.
+
+This benchmark is the "reproduce the whole paper" target: it runs the
+full analysis suite and checks each headline against the published
+shape (ratios/orderings, not absolute counts — our ecosystem is ~1000x
+smaller than mainnet).
+"""
+
+from __future__ import annotations
+
+from repro.core import build_report
+from repro.simulation import PAPER
+
+
+def test_headline_report(benchmark, dataset, oracle) -> None:
+    report = benchmark.pedantic(build_report, args=(dataset, oracle), rounds=3)
+
+    print("\n=== headline report (paper values in parentheses) ===")
+    for line in report.lines():
+        print(f"  {line}")
+
+    summary = report.summary
+
+    # §4: re-registration rate among expired domains ~ paper's 17%
+    assert 0.08 <= summary.rereg_rate_among_expired <= 0.40
+    print(f"  [check] rereg rate {summary.rereg_rate_among_expired:.1%}"
+          f" (paper {PAPER.rereg_rate_among_expired:.1%})")
+
+    # §4.3: income separation ~ paper's 3.3x
+    income = report.comparison.row("income_usd")
+    ratio = income.reregistered_value / max(1.0, income.control_value)
+    assert ratio > 1.5
+    assert income.significant
+    print(f"  [check] income ratio {ratio:.1f}x (paper ≈3.3x)")
+
+    # §4.2: listing is minority behaviour
+    assert report.resale.listed_fraction < 0.25
+
+    # §4.4: the custodial filter shrinks the loss set
+    assert (
+        report.losses_noncustodial.misdirected_tx_count
+        <= report.losses_with_coinbase.misdirected_tx_count
+    )
+    # average misdirected value in the paper's order of magnitude band
+    assert 100 <= report.losses_with_coinbase.average_usd_per_tx <= 60_000
+
+    # §4.4: dropcatching pays — most catchers profit
+    assert report.profit.profitable_fraction >= 0.6
+    assert report.profit.average_profit_usd > 0
+    print(f"  [check] {report.profit.profitable_fraction:.0%} profitable"
+          f" (paper {PAPER.profitable_catcher_fraction:.0%}),"
+          f" avg {report.profit.average_profit_usd:,.0f} USD"
+          f" (paper {PAPER.avg_catch_profit_usd:,.0f})")

@@ -1,0 +1,42 @@
+"""Robustness: the headline findings must hold across seeds.
+
+Re-runs the whole pipeline on several independent ecosystems and
+requires every paper-shape finding to hold in *all* of them — the
+reproduction is a property of the model, not of one lucky draw.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.robustness import run_sweep
+from repro.simulation import ScenarioConfig
+
+_SWEEP_DOMAINS = int(os.environ.get("REPRO_SWEEP_DOMAINS", 700))
+_SWEEP_SEEDS = (11, 23, 47)
+
+
+def test_robustness_across_seeds(benchmark) -> None:
+    sweep = benchmark.pedantic(
+        run_sweep,
+        args=(ScenarioConfig(n_domains=_SWEEP_DOMAINS), _SWEEP_SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for line in sweep.summary_lines():
+        print(line)
+
+    # every seed individually satisfies the paper shapes
+    assert sweep.metrics["rereg_rate_among_expired"].within(0.05, 0.45)
+    assert sweep.metrics["income_ratio"].minimum > 1.3
+    assert sweep.metrics["listed_fraction"].within(0.0, 0.30)
+    assert sweep.metrics["profitable_fraction"].minimum >= 0.55
+    assert sweep.metrics["gini_of_catchers"].minimum > 0.2
+    assert sweep.metrics["avg_misdirected_usd"].within(100, 60_000)
+
+    # and the spread stays moderate: the model, not the seed, carries
+    # the result
+    rate = sweep.metrics["rereg_rate_among_expired"]
+    assert rate.std < 0.5 * max(rate.mean, 1e-9)

@@ -1,0 +1,48 @@
+"""Substrate performance: the costs a user of this library actually pays.
+
+Not a paper artefact — an engineering benchmark for the release:
+keccak-256 throughput (the pure-Python hot spot), namehash with its
+memoization, chain transaction throughput, and a full small-scenario
+build. Regressions here make every other benchmark slower.
+"""
+
+from __future__ import annotations
+
+from repro.chain import Address, Blockchain, ether, keccak_256
+from repro.ens.namehash import namehash
+from repro.simulation import ScenarioConfig, run_scenario
+
+
+def test_keccak_throughput(benchmark) -> None:
+    payload = b"benchmark-payload-of-realistic-length.eth"
+    digest = benchmark(keccak_256, payload)
+    assert len(digest) == 32
+
+
+def test_namehash_memoized_throughput(benchmark) -> None:
+    # warm: realistic crawls hash the same names repeatedly
+    namehash("already-hashed-name.eth")
+
+    result = benchmark(namehash, "already-hashed-name.eth")
+    assert result == namehash("already-hashed-name.eth")
+
+
+def test_chain_transfer_throughput(benchmark) -> None:
+    chain = Blockchain()
+    sender = Address.derive("perf:sender")
+    recipient = Address.derive("perf:recipient")
+    chain.fund(sender, ether(10**9))
+
+    def _transfer():
+        return chain.transfer(sender, recipient, 1)
+
+    receipt = benchmark(_transfer)
+    assert receipt.success
+
+
+def test_small_scenario_build(benchmark) -> None:
+    def _build():
+        return run_scenario(ScenarioConfig(n_domains=60, seed=1))
+
+    world = benchmark.pedantic(_build, rounds=2, iterations=1)
+    assert len(world.subgraph.domains) == 60

@@ -1,0 +1,75 @@
+"""Table 1: lexical + transactional features, both groups, significance.
+
+Paper shape: re-registered names are shorter, dictionary-heavy, and
+digit/hyphen/underscore-light; their previous wallets earned more from
+more senders. Every feature significant at p<0.05 (paper scale n=241K;
+at bench scale the rare categorical features may not clear p<0.05 —
+the directions must still match).
+"""
+
+from __future__ import annotations
+
+from repro.core import compare_groups
+
+# feature → expected direction ("rereg_higher" / "rereg_lower") from Table 1
+_EXPECTED_DIRECTIONS = {
+    "income_usd": "rereg_higher",
+    "num_unique_senders": "rereg_higher",
+    "num_transactions": "rereg_higher",
+    "length": "rereg_lower",
+    "contains_digit": "rereg_lower",
+    "is_numeric": "rereg_higher",
+    "contains_dictionary_word": "rereg_higher",
+    "is_dictionary_word": "rereg_higher",
+    "contains_brand_name": "rereg_higher",
+    "contains_adult_word": "rereg_lower",
+    "contains_hyphen": "rereg_lower",
+    "contains_underscore": "rereg_lower",
+}
+
+# the strongly-separated features that must also be significant at bench
+# scale (num_transactions is 25-vs-24 in the paper — a near-tie — so it
+# is direction-checked only)
+_MUST_BE_SIGNIFICANT = {
+    "income_usd",
+    "num_unique_senders",
+    "is_dictionary_word",
+    "contains_hyphen",
+}
+
+
+def test_table1_feature_comparison(benchmark, dataset, oracle) -> None:
+    comparison = benchmark(compare_groups, dataset, oracle, 0)
+
+    print(f"\nTable 1 — re-registered (n={comparison.group_size_reregistered})"
+          f" vs control (n={comparison.group_size_control})")
+    print(f"  {'feature':28s} {'re-reg':>12s} {'control':>12s} {'p-value':>10s}")
+    for row in comparison.rows:
+        flag = "SIG" if row.significant else "ns"
+        print(f"  {row.feature:28s} {row.reregistered_value:12.3f}"
+              f" {row.control_value:12.3f} {row.test.p_value:10.2e} {flag}")
+
+    directional_misses = []
+    for feature, direction in _EXPECTED_DIRECTIONS.items():
+        row = comparison.row(feature)
+        if row.reregistered_value == row.control_value:
+            continue  # degenerate at this scale (e.g. zero counts both sides)
+        observed = (
+            "rereg_higher"
+            if row.reregistered_value > row.control_value
+            else "rereg_lower"
+        )
+        if observed != direction:
+            directional_misses.append(feature)
+    # near-tie features of Table 1 (sub-1% or <1.2x separations at paper
+    # scale) may flip under bench-scale sampling noise
+    allowed_flips = {
+        "is_numeric",
+        "contains_adult_word",
+        "contains_brand_name",
+        "num_transactions",
+    }
+    assert set(directional_misses) <= allowed_flips, directional_misses
+
+    for feature in _MUST_BE_SIGNIFICANT:
+        assert comparison.row(feature).significant, feature

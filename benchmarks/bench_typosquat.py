@@ -1,0 +1,37 @@
+"""Extension: typosquat-flavoured dropcatching.
+
+Screens every dropcatch against the income-weighted popular names
+(Damerau-Levenshtein ≤ 1). The companion eCrime'24 study found
+blockchain typosquatting widespread; here we quantify how much of the
+*dropcatch* market doubles as typosquatting.
+"""
+
+from __future__ import annotations
+
+from repro.core.typosquat import find_typosquat_catches
+
+
+def test_typosquat_screening(benchmark, dataset, oracle, rereg_events) -> None:
+    report = benchmark(
+        find_typosquat_catches, dataset, oracle, rereg_events
+    )
+
+    print("\nExtension — typosquat screening of dropcatches")
+    print(f"  popular (>$10K income) targets: {report.popular_targets}")
+    print(f"  catches screened: {report.catches_screened}")
+    print(f"  typo-of-popular catches: {len(report.candidates)}"
+          f" ({report.candidate_fraction:.1%})")
+    for candidate in report.candidates[:8]:
+        print(f"    {candidate.caught_label!r} ~ {candidate.target_label!r}"
+              f" (target income {candidate.target_income_usd:,.0f} USD)")
+
+    # the screen ran over the full catch set
+    assert report.catches_screened == len(
+        [event for event in rereg_events if event.name]
+    )
+    assert report.popular_targets > 10
+    # typo catches exist but are a minority motive
+    assert 0 <= report.candidate_fraction < 0.30
+    for candidate in report.candidates:
+        assert candidate.distance <= 1
+        assert candidate.caught_label != candidate.target_label

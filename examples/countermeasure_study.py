@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""How much loss would the paper's §6 countermeasure prevent?
+
+The paper's proposed fix is a wallet-side warning for expired or
+recently-re-registered names. This study quantifies it on a simulated
+ecosystem:
+
+1. replay every misdirected payment against warning windows from 7 to
+   365 days and report the coverage curve (transactions and USD),
+2. compare the stock wallets (Table 2: zero warnings) against the
+   warning wallet on the same flow,
+3. show the residual: payments so late that even a recency banner
+   passes them — the paper's argument for resolution-provenance data.
+
+Usage:
+    python examples/countermeasure_study.py [n_domains]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import detect_losses, find_reregistrations
+from repro.simulation import ScenarioConfig, run_scenario
+from repro.wallets import STOCK_WALLETS, WARNING_WALLET, evaluate_countermeasure
+
+
+def main() -> None:
+    n_domains = int(sys.argv[1]) if len(sys.argv) > 1 else 1_200
+    print(f"simulating {n_domains} domains ...")
+    world = run_scenario(ScenarioConfig(n_domains=n_domains, seed=31))
+    dataset, _ = world.run_crawl()
+    events = find_reregistrations(dataset)
+    losses = detect_losses(dataset, world.oracle, events=events)
+    print(f"  {losses.misdirected_tx_count} misdirected transactions, "
+          f"{losses.total_usd:,.0f} USD lost\n")
+
+    print("coverage by warning window (share of losses a banner prevents)")
+    print(f"  {'window':>8s} {'txs warned':>11s} {'USD warned':>11s}")
+    for window_days in (7, 30, 60, 90, 180, 365):
+        evaluation = evaluate_countermeasure(
+            dataset, losses, warning_window_days=window_days
+        )
+        print(f"  {window_days:5d} d  {evaluation.tx_coverage:11.0%}"
+              f" {evaluation.usd_coverage:11.0%}")
+
+    evaluation = evaluate_countermeasure(dataset, losses, warning_window_days=90)
+    residual_txs = evaluation.misdirected_txs - evaluation.warned_txs
+    residual_usd = evaluation.misdirected_usd - evaluation.warned_usd
+    print(f"\nresidual at the paper's 90-day window: {residual_txs} txs,"
+          f" {residual_usd:,.0f} USD pass silently")
+    print("(these senders paid a long-since re-registered name — only "
+          "resolution provenance, not recency, could catch them)\n")
+
+    # the Table-2 contrast on the most recently re-registered name
+    named_events = [event for event in events if event.name]
+    caught = max(
+        named_events, key=lambda event: event.next.registration_date, default=None
+    )
+    if caught is not None:
+        name = caught.name
+        print(f"wallet behaviour on the re-registered name {name}:")
+        for wallet in STOCK_WALLETS:
+            outcome = wallet.resolve(world.ens, name)
+            print(f"  {outcome.wallet:24s} warning="
+                  f"{'yes' if outcome.warning_shown else 'NO'}")
+        outcome = WARNING_WALLET.resolve(world.ens, name)
+        print(f"  {outcome.wallet:24s} warning="
+              f"{'YES' if outcome.warning_shown else 'no'}"
+              f"  (expired={outcome.name_is_expired},"
+              f" recently-caught={outcome.name_recently_reregistered})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The data-collection pipeline under realistic API constraints.
+
+Demonstrates the crawler stack the paper released: cursor pagination
+around The Graph's skip limit, Etherscan rate-limit backoff, OpenSea
+event paging — then persists the dataset to JSONL and reloads it for
+analysis, exactly the workflow of working from a saved crawl.
+
+Usage:
+    python examples/crawl_and_persist.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import summarize
+from repro.crawler import (
+    DataCollectionPipeline,
+    EtherscanClient,
+    OpenSeaClient,
+    SubgraphClient,
+    load_dataset,
+    save_dataset,
+)
+from repro.simulation import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.mkdtemp(prefix="ens-crawl-"))
+    )
+
+    print("building a small ecosystem to crawl ...")
+    world = run_scenario(ScenarioConfig(n_domains=600, seed=21))
+
+    # throttle the explorer hard so the backoff path is exercised
+    world.etherscan_api.rate_limit_per_second = 5
+
+    pipeline = DataCollectionPipeline(
+        subgraph_client=SubgraphClient(world.endpoint, page_size=200),
+        etherscan_client=EtherscanClient(world.etherscan_api, page_size=500),
+        opensea_client=OpenSeaClient(world.opensea_api),
+    )
+
+    print("crawling with a 5 req/s explorer budget ...")
+    dataset, report = pipeline.run(crawl_timestamp=world.end_timestamp)
+    print(f"  domains: {report.domains_crawled} "
+          f"(+{report.domains_missing} unrecoverable → "
+          f"{report.recovery_rate:.2%} recovery)")
+    print(f"  transactions: {report.transactions_crawled} "
+          f"over {report.explorer_requests} API calls, "
+          f"{report.explorer_retries} rate-limit retries, "
+          f"{world.etherscan_api.clock.slept_total:.1f}s simulated backoff")
+    print(f"  subgraph pages: {report.subgraph_pages} "
+          f"(cursor pagination, {pipeline.subgraph_client.page_size}/page)")
+
+    print(f"persisting to {out_dir} ...")
+    save_dataset(dataset, out_dir)
+    for path in sorted(out_dir.iterdir()):
+        print(f"  {path.name:24s} {path.stat().st_size:>10,d} bytes")
+
+    print("reloading and re-analyzing ...")
+    reloaded = load_dataset(out_dir)
+    reloaded.validate()
+    summary = summarize(reloaded)
+    print(f"  {summary.reregistered_domains} re-registered domains "
+          f"of {summary.expired_domains} expired "
+          f"({summary.rereg_rate_among_expired:.1%}) — "
+          f"identical to the pre-save analysis: "
+          f"{summarize(dataset) == summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""A single dropcatch, end to end — the paper's §4.4 scenario replayed.
+
+Walks one domain through the full attack narrative with real contract
+state at every step:
+
+    alice registers gold-vault.eth → carol pays her through the name →
+    alice forgets to renew → the name keeps resolving (the design flaw)
+    → mallory catches it after the premium → carol's next payment lands
+    in mallory's wallet → every stock wallet would have let it happen,
+    the warning wallet would not.
+
+Usage:
+    python examples/dropcatch_attack.py
+"""
+
+from __future__ import annotations
+
+from repro.chain import Address, Blockchain, SECONDS_PER_DAY, SECONDS_PER_YEAR, ether
+from repro.ens import ENSDeployment, GRACE_PERIOD_SECONDS
+from repro.oracle import EthUsdOracle
+from repro.wallets import STOCK_WALLETS, WARNING_WALLET
+
+DAY = SECONDS_PER_DAY
+NAME = "gold-vault"
+
+
+def step(title: str) -> None:
+    print(f"\n--- {title} ---")
+
+
+def main() -> None:
+    oracle = EthUsdOracle()
+    chain = Blockchain()
+    ens = ENSDeployment.deploy(chain, eth_usd=oracle)
+
+    alice = Address.derive("alice")     # original owner
+    carol = Address.derive("carol")     # her paying counterparty
+    mallory = Address.derive("mallory")  # the dropcatcher
+    for actor in (alice, carol, mallory):
+        chain.fund(actor, ether(1_000))
+
+    step(f"1. alice registers {NAME}.eth for one year")
+    receipt = ens.register(alice, NAME, SECONDS_PER_YEAR, set_addr_to=alice)
+    assert receipt.success, receipt.error
+    price = oracle.wei_to_usd(ens.rent_price(NAME, SECONDS_PER_YEAR), chain.now)
+    print(f"   cost ≈ {price:,.2f} USD | resolves to {ens.resolve(NAME + '.eth')}")
+
+    step("2. carol pays alice through the name, twice")
+    for _ in range(2):
+        chain.advance_time(30 * DAY)
+        target = ens.resolve(f"{NAME}.eth")
+        chain.transfer(carol, target, ether(1))
+        print(f"   1 ETH → {target} "
+              f"({'alice' if target == alice else 'NOT alice'})")
+
+    step("3. the registration lapses; grace passes; nobody notices")
+    release_time = ens.name_expires(NAME) + GRACE_PERIOD_SECONDS
+    chain.set_time(release_time + 1)
+    print(f"   available again: {ens.available(NAME)}")
+    print(f"   ...yet it still resolves to alice: {ens.resolve(NAME + '.eth')}")
+    premium = oracle.wei_to_usd(
+        chain.view(ens.controller.address, "premium_price_wei", label=NAME),
+        chain.now,
+    )
+    print(f"   premium right now: {premium:,.0f} USD (Dutch auction)")
+
+    step("4. mallory waits out the 21-day premium and catches the name")
+    chain.advance_time(21 * DAY)
+    catch_price = ens.rent_price(NAME, SECONDS_PER_YEAR)
+    receipt = ens.register(mallory, NAME, SECONDS_PER_YEAR, set_addr_to=mallory)
+    assert receipt.success, receipt.error
+    print(f"   mallory paid {oracle.wei_to_usd(catch_price, chain.now):,.2f} USD")
+    print(f"   {NAME}.eth now resolves to {ens.resolve(NAME + '.eth')} (mallory)")
+
+    step("5. carol pays 'alice' again — blind")
+    before = chain.balance_of(mallory)
+    target = ens.resolve(f"{NAME}.eth")
+    chain.transfer(carol, target, ether(1))
+    stolen = chain.balance_of(mallory) - before
+    print(f"   1 ETH ({oracle.wei_to_usd(stolen, chain.now):,.2f} USD) "
+          f"landed in mallory's wallet — irreversibly")
+
+    step("6. would any wallet have warned carol? (Table 2)")
+    for wallet in STOCK_WALLETS:
+        outcome = wallet.resolve(ens, f"{NAME}.eth")
+        print(f"   {outcome.wallet:24s} warning={'yes' if outcome.warning_shown else 'NO'}")
+    outcome = WARNING_WALLET.resolve(ens, f"{NAME}.eth")
+    print(f"   {outcome.wallet:24s} warning="
+          f"{'YES — recently re-registered' if outcome.warning_shown else 'no'}")
+
+    step("7. epilogue: mallory flips the name on the NFT market")
+    from repro.ens import labelhash
+    from repro.marketplace import OpenSeaMarket
+
+    market = OpenSeaMarket(Address.derive("example:opensea"), chain, ens.base)
+    chain.deploy(market)
+    token = labelhash(NAME)
+    trader = Address.derive("trader")
+    chain.fund(trader, ether(50))
+    chain.call(mallory, ens.base.address, "approve",
+               to=market.address, label_hash=token)
+    chain.call(mallory, market.address, "list_token",
+               token_id=token, price_wei=ether(4))
+    receipt = chain.call(trader, market.address, "buy",
+                         value=ether(4), token_id=token)
+    assert receipt.success, receipt.error
+    proceeds = oracle.wei_to_usd(ether(4), chain.now)
+    print(f"   listed at 4 ETH, sold atomically to {trader} "
+          f"for {proceeds:,.0f} USD")
+    print(f"   mallory's total take: 1 misdirected ETH + the resale, "
+          f"against a {oracle.wei_to_usd(catch_price, chain.now):,.2f} USD"
+          f" registration — the §4.4 economics in one name")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Code-generated, fully-unrolled Keccak-f[1600] permutation.
+
+Pure-Python keccak is the hot loop of every ENS protocol hash in this
+repository (labelhash, namehash, token ids). The readable reference
+implementation in :mod:`.keccak` walks the 5x5 lane matrix with loops;
+this module generates an equivalent straight-line function at import
+time (25 local lanes, theta/rho/pi fused, all 24 rounds unrolled),
+which runs ~2.5x faster under CPython.
+
+The generated function is verified bit-for-bit against the reference
+permutation in ``tests/chain/test_keccak.py``; if you touch either
+implementation, that test is the contract.
+"""
+
+from __future__ import annotations
+
+__all__ = ["f1600_unrolled"]
+
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+_ROTATION = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+_MASK = (1 << 64) - 1
+
+
+def _rotl_expr(value_expr: str, shift: int) -> str:
+    if shift == 0:
+        return value_expr
+    return f"((({value_expr})<<{shift} | ({value_expr})>>{64 - shift}) & {_MASK})"
+
+
+def _generate_source() -> str:
+    lines = ["def f1600_unrolled(state):"]
+    lines.append("    (" + ",".join(f"a{i}" for i in range(25)) + ") = state")
+    for round_constant in _ROUND_CONSTANTS:
+        for x in range(5):
+            lines.append(f"    c{x} = a{x}^a{x + 5}^a{x + 10}^a{x + 15}^a{x + 20}")
+        for x in range(5):
+            lines.append(
+                f"    d{x} = c{(x - 1) % 5} ^ " + _rotl_expr(f"c{(x + 1) % 5}", 1)
+            )
+        # theta-apply fused with rho rotation and pi permutation
+        for x in range(5):
+            for y in range(5):
+                target = y + 5 * ((2 * x + 3 * y) % 5)
+                lines.append(
+                    f"    b{target} = "
+                    + _rotl_expr(f"a{x + 5 * y}^d{x}", _ROTATION[x][y])
+                )
+        for y in range(5):
+            for x in range(5):
+                i0 = x + 5 * y
+                i1 = (x + 1) % 5 + 5 * y
+                i2 = (x + 2) % 5 + 5 * y
+                lines.append(f"    a{i0} = b{i0} ^ (~b{i1} & b{i2})")
+        lines.append(f"    a0 = (a0 ^ {round_constant}) & {_MASK}")
+    lines.append(
+        "    return [" + ",".join(f"a{i}&{_MASK}" for i in range(25)) + "]"
+    )
+    return "\n".join(lines)
+
+
+_namespace: dict[str, object] = {}
+exec(compile(_generate_source(), __file__ + "<generated>", "exec"), _namespace)
+f1600_unrolled = _namespace["f1600_unrolled"]

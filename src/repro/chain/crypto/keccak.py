@@ -1,0 +1,183 @@
+"""Pure-Python Keccak-256 as used by Ethereum.
+
+Ethereum uses the *original* Keccak submission (multi-rate padding byte
+``0x01``), not the final NIST SHA-3 standard (padding byte ``0x06``), so
+:func:`hashlib.sha3_256` produces different digests. Every piece of ENS —
+labelhash, namehash, token ids — is defined over this function, so we
+implement the full Keccak-f[1600] permutation here and verify it against
+the published test vectors in the test suite.
+
+The implementation favours clarity over raw speed: the sponge operates on
+a 5x5 lane matrix of 64-bit integers, one permutation call per 136-byte
+rate block. That is ample for the workloads in this repository (hundreds
+of thousands of short names).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["keccak_256", "keccak_256_hex", "Keccak256"]
+
+_KECCAK_ROUNDS = 24
+_RATE_BYTES = 136  # 1088-bit rate for a 256-bit capacity-512 sponge
+_LANE_MASK = (1 << 64) - 1
+
+# Round constants for the iota step (FIPS 202, Table 2).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets for the rho step, indexed [x][y].
+_ROTATION = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+
+def _rotl64(value: int, shift: int) -> int:
+    """Rotate a 64-bit integer left by ``shift`` bits."""
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _LANE_MASK
+
+
+def _keccak_f1600(state: list[int]) -> None:
+    """Apply the Keccak-f[1600] permutation to a 25-lane state in place.
+
+    ``state`` is a flat list of 25 64-bit lanes in ``x + 5*y`` order.
+    """
+    for round_constant in _ROUND_CONSTANTS:
+        # theta: column parities diffused across the state.
+        parity = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        theta_effect = [
+            parity[(x - 1) % 5] ^ _rotl64(parity[(x + 1) % 5], 1) for x in range(5)
+        ]
+        for x in range(5):
+            effect = theta_effect[x]
+            for y in range(0, 25, 5):
+                state[x + y] ^= effect
+
+        # rho + pi: rotate each lane and permute positions.
+        rotated = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                lane = _rotl64(state[x + 5 * y], _ROTATION[x][y])
+                rotated[y + 5 * ((2 * x + 3 * y) % 5)] = lane
+
+        # chi: non-linear mixing within rows.
+        for y in range(0, 25, 5):
+            row = rotated[y : y + 5]
+            for x in range(5):
+                state[x + y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+
+        # iota: break symmetry with the round constant.
+        state[0] ^= round_constant
+
+
+# The production permutation: code-generated straight-line version of the
+# reference loop above (see _f1600_unrolled for the rationale). Tests pin
+# both implementations to each other and to published digests.
+from ._f1600_unrolled import f1600_unrolled as _f1600_fast
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher with a hashlib-like interface.
+
+    >>> h = Keccak256()
+    >>> h.update(b"abc")
+    >>> h.hexdigest()
+    '4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45'
+    """
+
+    digest_size = 32
+    block_size = _RATE_BYTES
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._finalized: bytes | None = None
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes. Raises if the digest was already read."""
+        if self._finalized is not None:
+            raise ValueError("cannot update a finalized Keccak256 hasher")
+        self._buffer.extend(data)
+        while len(self._buffer) >= _RATE_BYTES:
+            self._absorb_block(bytes(self._buffer[:_RATE_BYTES]))
+            del self._buffer[:_RATE_BYTES]
+
+    def _absorb_block(self, block: bytes) -> None:
+        for lane_index in range(_RATE_BYTES // 8):
+            lane = int.from_bytes(block[lane_index * 8 : lane_index * 8 + 8], "little")
+            self._state[lane_index] ^= lane
+        self._state = _f1600_fast(self._state)
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest; the hasher may not be updated afterwards."""
+        if self._finalized is None:
+            # Multi-rate padding: 0x01 ... 0x80 (Keccak, not SHA-3's 0x06).
+            padded = bytearray(self._buffer)
+            pad_length = _RATE_BYTES - (len(padded) % _RATE_BYTES)
+            padded.extend(b"\x00" * pad_length)
+            padded[len(self._buffer)] ^= 0x01
+            padded[-1] ^= 0x80
+            state = list(self._state)
+            for offset in range(0, len(padded), _RATE_BYTES):
+                block = padded[offset : offset + _RATE_BYTES]
+                for lane_index in range(_RATE_BYTES // 8):
+                    lane = int.from_bytes(
+                        block[lane_index * 8 : lane_index * 8 + 8], "little"
+                    )
+                    state[lane_index] ^= lane
+                state = _f1600_fast(state)
+            squeezed = b"".join(
+                state[lane_index].to_bytes(8, "little") for lane_index in range(4)
+            )
+            self._finalized = squeezed
+        return self._finalized
+
+    def hexdigest(self) -> str:
+        """Return the digest as a 64-character lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "Keccak256":
+        """Return an independent copy of the current hasher state."""
+        clone = Keccak256()
+        clone._state = list(self._state)
+        clone._buffer = bytearray(self._buffer)
+        clone._finalized = self._finalized
+        return clone
+
+
+def keccak_256(data: bytes | bytearray | memoryview) -> bytes:
+    """Return the 32-byte Keccak-256 digest of ``data``."""
+    return Keccak256(bytes(data)).digest()
+
+
+def keccak_256_hex(data: bytes | bytearray | memoryview) -> str:
+    """Return the Keccak-256 digest of ``data`` as lowercase hex."""
+    return keccak_256(data).hex()
+
+
+def keccak_256_concat(parts: Iterable[bytes]) -> bytes:
+    """Hash the concatenation of ``parts`` without building one big buffer."""
+    hasher = Keccak256()
+    for part in parts:
+        hasher.update(part)
+    return hasher.digest()

@@ -1,0 +1,156 @@
+"""Core value types for the simulated Ethereum ledger.
+
+These model exactly the fields the paper's analyses consume: 20-byte
+addresses, 32-byte hashes, wei amounts, and unix timestamps. Amounts are
+plain ``int`` wei under the hood (Ethereum semantics: no floats on
+chain); the :func:`ether` / :func:`from_wei` helpers convert at the
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import ClassVar
+
+from .crypto.keccak import keccak_256
+
+__all__ = [
+    "Address",
+    "Hash32",
+    "Wei",
+    "WEI_PER_ETHER",
+    "ZERO_ADDRESS",
+    "ether",
+    "from_wei",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_YEAR",
+]
+
+Wei = int
+WEI_PER_ETHER: int = 10**18
+SECONDS_PER_DAY: int = 86_400
+SECONDS_PER_YEAR: int = 365 * SECONDS_PER_DAY
+
+
+def ether(amount: float | int | str) -> Wei:
+    """Convert an ether amount to wei.
+
+    Accepts ints, floats, and decimal strings; the result is exact for
+    values with up to 18 fractional digits when given as int/str.
+    """
+    if isinstance(amount, int):
+        return amount * WEI_PER_ETHER
+    if isinstance(amount, str):
+        whole, _, frac = amount.partition(".")
+        frac = (frac + "0" * 18)[:18]
+        sign = -1 if whole.startswith("-") else 1
+        whole_wei = int(whole or "0") * WEI_PER_ETHER
+        return whole_wei + sign * int(frac or "0")
+    return int(round(amount * WEI_PER_ETHER))
+
+
+def from_wei(amount: Wei) -> float:
+    """Convert wei to a float ether amount (for reporting only)."""
+    return amount / WEI_PER_ETHER
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Address:
+    """A 20-byte Ethereum address.
+
+    Instances are immutable, hashable, and ordered by raw bytes, so they
+    can key dictionaries and sort deterministically in reports.
+    """
+
+    raw: bytes
+
+    LENGTH: ClassVar[int] = 20
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.raw, bytes) or len(self.raw) != self.LENGTH:
+            raise ValueError(f"address must be exactly {self.LENGTH} bytes")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        """Parse a ``0x``-prefixed (or bare) 40-hex-digit address."""
+        cleaned = text[2:] if text.startswith(("0x", "0X")) else text
+        if len(cleaned) != cls.LENGTH * 2:
+            raise ValueError(f"address hex must be {cls.LENGTH * 2} digits: {text!r}")
+        return cls(bytes.fromhex(cleaned))
+
+    @classmethod
+    def derive(cls, seed: str | bytes) -> "Address":
+        """Deterministically derive an address from a seed string.
+
+        Used throughout the simulation so the same actor always gets the
+        same address regardless of creation order. This is a simulation
+        convenience (real addresses come from secp256k1 keys), so it uses
+        fast blake2b rather than keccak.
+        """
+        data = seed.encode("utf-8") if isinstance(seed, str) else seed
+        return cls(blake2b(b"addr:" + data, digest_size=cls.LENGTH).digest())
+
+    @property
+    def hex(self) -> str:
+        """Lowercase ``0x``-prefixed hex form."""
+        return "0x" + self.raw.hex()
+
+    @property
+    def checksum(self) -> str:
+        """EIP-55 mixed-case checksum form."""
+        plain = self.raw.hex()
+        digest = keccak_256(plain.encode("ascii")).hex()
+        chars = [
+            ch.upper() if ch.isalpha() and int(digest[i], 16) >= 8 else ch
+            for i, ch in enumerate(plain)
+        ]
+        return "0x" + "".join(chars)
+
+    def __str__(self) -> str:
+        return self.hex
+
+    def __repr__(self) -> str:
+        return f"Address({self.hex})"
+
+
+ZERO_ADDRESS = Address(b"\x00" * Address.LENGTH)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Hash32:
+    """A 32-byte hash value (transaction ids, namehash nodes, ...)."""
+
+    raw: bytes
+
+    LENGTH: ClassVar[int] = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.raw, bytes) or len(self.raw) != self.LENGTH:
+            raise ValueError(f"hash must be exactly {self.LENGTH} bytes")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Hash32":
+        cleaned = text[2:] if text.startswith(("0x", "0X")) else text
+        if len(cleaned) != cls.LENGTH * 2:
+            raise ValueError(f"hash hex must be {cls.LENGTH * 2} digits: {text!r}")
+        return cls(bytes.fromhex(cleaned))
+
+    @classmethod
+    def of(cls, data: bytes) -> "Hash32":
+        """Keccak-256 of ``data`` as a :class:`Hash32`."""
+        return cls(keccak_256(data))
+
+    @property
+    def hex(self) -> str:
+        return "0x" + self.raw.hex()
+
+    def to_int(self) -> int:
+        """Big-endian integer view (NFT token ids are uint256 hashes)."""
+        return int.from_bytes(self.raw, "big")
+
+    def __str__(self) -> str:
+        return self.hex
+
+    def __repr__(self) -> str:
+        return f"Hash32({self.hex})"

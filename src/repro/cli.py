@@ -1,0 +1,168 @@
+"""Command-line interface: simulate, crawl, analyze, predict.
+
+The workflows of the repository as one tool::
+
+    repro simulate --domains 1000 --seed 7 --out ./crawl   # build + crawl + save
+    repro analyze ./crawl                                  # headline report
+    repro predict ./crawl                                  # risk predictor
+    repro report --domains 800                             # all-in-one, in memory
+
+Datasets are the JSONL layout of :mod:`repro.crawler.storage`; analyses
+use the default deterministic ETH-USD oracle, so a saved dataset
+re-analyzes to identical numbers anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .core import build_report, train_reregistration_predictor
+from .crawler import load_dataset, save_dataset
+from .oracle import EthUsdOracle
+from .simulation import ScenarioConfig, run_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ENS dropcatching study reproduction (IMC 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="build an ecosystem, crawl it, save the dataset"
+    )
+    simulate.add_argument("--domains", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--out", required=True, help="output dataset directory")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="run the full §4 analysis on a saved dataset"
+    )
+    analyze.add_argument("dataset", help="dataset directory")
+    analyze.add_argument("--control-seed", type=int, default=0)
+
+    predict = subparsers.add_parser(
+        "predict", help="train the re-registration risk predictor"
+    )
+    predict.add_argument("dataset", help="dataset directory")
+    predict.add_argument("--test-fraction", type=float, default=0.3)
+    predict.add_argument("--seed", type=int, default=0)
+
+    report = subparsers.add_parser(
+        "report", help="simulate + crawl + analyze in one run (no files)"
+    )
+    report.add_argument("--domains", type=int, default=1000)
+    report.add_argument("--seed", type=int, default=7)
+
+    figures = subparsers.add_parser(
+        "figures", help="export every figure's data series as CSV"
+    )
+    figures.add_argument("dataset", help="dataset directory")
+    figures.add_argument("--out", required=True, help="CSV output directory")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="multi-seed robustness sweep of the headline metrics"
+    )
+    sweep.add_argument("--domains", type=int, default=500)
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    print(f"simulating {args.domains} domains (seed {args.seed}) ...")
+    world = run_scenario(ScenarioConfig(n_domains=args.domains, seed=args.seed))
+    dataset, crawl = world.run_crawl()
+    elapsed = time.perf_counter() - started
+    print(f"  {crawl.domains_crawled} domains crawled"
+          f" ({crawl.recovery_rate:.2%} recovery),"
+          f" {crawl.transactions_crawled} transactions [{elapsed:.1f}s]")
+    directory = save_dataset(dataset, args.out)
+    print(f"  dataset written to {directory}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.descriptive import describe_dataset
+
+    dataset = load_dataset(args.dataset)
+    dataset.validate()
+    print("--- dataset ---")
+    for line in describe_dataset(dataset).lines():
+        print(line)
+    print("--- findings ---")
+    report = build_report(dataset, EthUsdOracle(), seed=args.control_seed)
+    for line in report.lines():
+        print(line)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    report = train_reregistration_predictor(
+        dataset, EthUsdOracle(), test_fraction=args.test_fraction, seed=args.seed
+    )
+    print(f"train/test: {report.train_size}/{report.metrics.test_size}")
+    print(f"accuracy={report.metrics.accuracy:.1%}"
+          f" precision={report.metrics.precision:.1%}"
+          f" recall={report.metrics.recall:.1%}"
+          f" auc={report.metrics.auc:.3f}")
+    print("strongest features:")
+    for name, weight in report.top_features(6):
+        print(f"  {name:28s} {weight:+.3f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    world = run_scenario(ScenarioConfig(n_domains=args.domains, seed=args.seed))
+    dataset, _ = world.run_crawl()
+    report = build_report(dataset, world.oracle)
+    for line in report.lines():
+        print(line)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .core.export import export_figures
+
+    dataset = load_dataset(args.dataset)
+    paths = export_figures(dataset, EthUsdOracle(), args.out)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.robustness import run_sweep
+
+    sweep = run_sweep(
+        ScenarioConfig(n_domains=args.domains), seeds=args.seeds
+    )
+    for line in sweep.summary_lines():
+        print(line)
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "predict": _cmd_predict,
+    "report": _cmd_report,
+    "figures": _cmd_figures,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Dropcatcher concentration analysis (Figure 5, §4.1 actor stats)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..datasets.dataset import ENSDataset
+from .dropcatch import ReRegistration, find_reregistrations
+
+__all__ = ["ActorConcentration", "actor_concentration"]
+
+
+@dataclass(frozen=True, slots=True)
+class ActorConcentration:
+    """Per-address catch counts and their distribution."""
+
+    catches_by_address: dict[str, int]
+
+    @property
+    def unique_catchers(self) -> int:
+        return len(self.catches_by_address)
+
+    @property
+    def addresses_with_multiple_catches(self) -> int:
+        return sum(1 for count in self.catches_by_address.values() if count > 1)
+
+    def top(self, k: int = 3) -> list[tuple[str, int]]:
+        """The k most active dropcatchers (the paper's whales)."""
+        return Counter(self.catches_by_address).most_common(k)
+
+    def cdf_points(self) -> list[tuple[int, float]]:
+        """(catch count, cumulative fraction of addresses) — Figure 5."""
+        if not self.catches_by_address:
+            return []
+        counts = sorted(self.catches_by_address.values())
+        total = len(counts)
+        points: list[tuple[int, float]] = []
+        seen = 0
+        previous: int | None = None
+        for index, value in enumerate(counts, start=1):
+            if value != previous:
+                if previous is not None:
+                    points.append((previous, seen / total))
+                previous = value
+            seen = index
+        points.append((previous, 1.0))  # type: ignore[arg-type]
+        return points
+
+    def gini(self) -> float:
+        """Gini coefficient of catch counts (0 = equal, →1 = whales)."""
+        counts = sorted(self.catches_by_address.values())
+        n = len(counts)
+        if n == 0:
+            return 0.0
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        weighted = sum((index + 1) * value for index, value in enumerate(counts))
+        return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def actor_concentration(
+    dataset: ENSDataset, events: list[ReRegistration] | None = None
+) -> ActorConcentration:
+    """Count catches per acquiring address."""
+    if events is None:
+        events = find_reregistrations(dataset)
+    catches: Counter[str] = Counter(event.new_owner for event in events)
+    return ActorConcentration(catches_by_address=dict(catches))

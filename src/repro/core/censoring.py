@@ -1,0 +1,67 @@
+"""Observation-window censoring: how the crawl date shapes the results.
+
+Any study of expirations is right-censored: a domain that expired near
+the crawl date has had little time to be re-registered, so it lands in
+the "expired, not re-registered" pool even if a catch is coming. This
+module truncates a dataset to an earlier virtual crawl date, letting
+benchmarks quantify how sensitive the §4 findings are to the window —
+a robustness analysis the paper's single-snapshot design could not run.
+"""
+
+from __future__ import annotations
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord
+
+__all__ = ["truncate_dataset"]
+
+
+def truncate_dataset(dataset: ENSDataset, cutoff_timestamp: int) -> ENSDataset:
+    """A copy of ``dataset`` as a crawl at ``cutoff_timestamp`` would see it.
+
+    * registrations created after the cutoff are dropped (a domain whose
+      every cycle is post-cutoff disappears entirely),
+    * transactions and market events after the cutoff are dropped,
+    * the crawl timestamp becomes the cutoff.
+
+    Expiry dates extending past the cutoff are kept as-is: the registrar
+    records future expiry dates, and a real crawl sees them.
+    """
+    if cutoff_timestamp > dataset.crawl_timestamp:
+        raise ValueError("cutoff must not exceed the dataset's crawl time")
+    truncated = ENSDataset(
+        coinbase_addresses=set(dataset.coinbase_addresses),
+        custodial_addresses=set(dataset.custodial_addresses),
+        crawl_timestamp=cutoff_timestamp,
+    )
+    for domain in dataset.iter_domains():
+        kept = [
+            registration
+            for registration in domain.registrations
+            if registration.registration_date <= cutoff_timestamp
+        ]
+        if not kept:
+            continue
+        truncated.add_domain(
+            DomainRecord(
+                domain_id=domain.domain_id,
+                name=domain.name,
+                label_name=domain.label_name,
+                labelhash=domain.labelhash,
+                created_at=domain.created_at,
+                # ownership state rolls back to the last pre-cutoff cycle
+                owner=kept[-1].registrant,
+                resolved_address=domain.resolved_address,
+                subdomain_count=domain.subdomain_count,
+                registrations=kept,
+            )
+        )
+    truncated.add_transactions(
+        tx for tx in dataset.transactions if tx.timestamp <= cutoff_timestamp
+    )
+    truncated.add_market_events(
+        event
+        for event in dataset.market_events
+        if event.timestamp <= cutoff_timestamp
+    )
+    return truncated

@@ -1,0 +1,48 @@
+"""Control-group sampling (§4.3).
+
+The paper compares its 241K re-registered domains against an equally
+sized random sample of domains that expired but were *never*
+re-registered by a different owner. This module reproduces that
+sampling, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord
+from .dropcatch import expired_domain_ids, reregistered_domain_ids
+
+__all__ = ["control_candidates", "sample_control_group", "study_groups"]
+
+
+def control_candidates(dataset: ENSDataset) -> list[DomainRecord]:
+    """Expired-but-never-dropcatched domains, in stable id order."""
+    caught = reregistered_domain_ids(dataset)
+    expired = expired_domain_ids(dataset)
+    return [
+        dataset.domains[domain_id]
+        for domain_id in sorted(expired - caught)
+    ]
+
+
+def sample_control_group(
+    dataset: ENSDataset, size: int, seed: int = 0
+) -> list[DomainRecord]:
+    """Random control sample of ``size`` (capped at the candidate pool)."""
+    candidates = control_candidates(dataset)
+    if size >= len(candidates):
+        return candidates
+    rng = random.Random(seed)
+    return rng.sample(candidates, size)
+
+
+def study_groups(
+    dataset: ENSDataset, seed: int = 0
+) -> tuple[list[DomainRecord], list[DomainRecord]]:
+    """(re-registered group, equal-size control group) — the Table-1 setup."""
+    caught_ids = reregistered_domain_ids(dataset)
+    reregistered = [dataset.domains[domain_id] for domain_id in sorted(caught_ids)]
+    control = sample_control_group(dataset, size=len(reregistered), seed=seed)
+    return reregistered, control

@@ -1,0 +1,159 @@
+"""Export every figure's data series to CSV.
+
+Reproducing a measurement paper ends in plots; this module writes the
+exact series behind each figure to one CSV per artefact so any plotting
+tool can render them (no plotting dependency in the library):
+
+    fig2_timeline.csv       month, registrations, expirations, rereg
+    fig3_delays.csv         delay_days (one per event)
+    fig4_rereg_counts.csv   times_reregistered, domains
+    fig5_actor_cdf.csv      catches, cumulative_fraction
+    fig6_income.csv         group, income_usd
+    fig7_hijackable.csv     domain, hijackable_usd
+    fig8_amounts.csv        usd
+    fig9_scatter.csv        txs_to_previous, txs_to_new, sender_kind
+    fig10_profit.csv        cost_usd, income_usd
+    table1_features.csv     feature, reregistered, control, p_value
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import Counter
+from pathlib import Path
+
+from ..datasets.dataset import ENSDataset
+from ..oracle.ethusd import EthUsdOracle
+from .comparison import feature_rows_for
+from .control import study_groups
+from .report import HeadlineReport, build_report
+from .timing import monthly_timeline
+
+__all__ = ["export_figures"]
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> None:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figures(
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    directory: str | Path,
+    report: HeadlineReport | None = None,
+) -> list[Path]:
+    """Write every figure's series under ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if report is None:
+        report = build_report(dataset, oracle)
+    written: list[Path] = []
+
+    def emit(name: str, header: list[str], rows: list[list]) -> None:
+        path = directory / name
+        _write_csv(path, header, rows)
+        written.append(path)
+
+    timeline = monthly_timeline(dataset)
+    emit(
+        "fig2_timeline.csv",
+        ["month", "registrations", "expirations", "reregistrations"],
+        [list(row) for row in timeline.as_rows()],
+    )
+
+    emit(
+        "fig3_delays.csv",
+        ["delay_days"],
+        [[round(delay, 3)] for delay in sorted(report.delays.delays_days)],
+    )
+
+    from .dropcatch import find_reregistrations
+
+    per_domain: Counter[str] = Counter()
+    for event in find_reregistrations(dataset):
+        per_domain[event.domain_id] += 1
+    frequency = Counter(per_domain.values())
+    emit(
+        "fig4_rereg_counts.csv",
+        ["times_reregistered", "domains"],
+        [[times, frequency[times]] for times in sorted(frequency)],
+    )
+
+    emit(
+        "fig5_actor_cdf.csv",
+        ["catches", "cumulative_fraction"],
+        [[count, round(fraction, 6)] for count, fraction in report.actors.cdf_points()],
+    )
+
+    reregistered, control = study_groups(dataset, seed=0)
+    rereg_rows = feature_rows_for(dataset, reregistered, oracle)
+    control_rows = feature_rows_for(dataset, control, oracle)
+    emit(
+        "fig6_income.csv",
+        ["group", "income_usd"],
+        [["reregistered", round(row.income_usd, 2)] for row in rereg_rows]
+        + [["control", round(row.income_usd, 2)] for row in control_rows],
+    )
+
+    emit(
+        "fig7_hijackable.csv",
+        ["domain", "hijackable_usd"],
+        [
+            [window.name or window.domain_id, round(window.usd_total(oracle), 2)]
+            for window in report.hijackable.windows
+            if window.txs
+        ],
+    )
+
+    emit(
+        "fig8_amounts.csv",
+        ["usd"],
+        [[round(amount, 2)] for amount in report.losses_with_coinbase.usd_amounts()],
+    )
+
+    emit(
+        "fig9_scatter.csv",
+        ["txs_to_previous", "txs_to_new", "sender_kind"],
+        [
+            [to_a1, to_a2, "coinbase" if is_coinbase else "noncustodial"]
+            for to_a1, to_a2, is_coinbase in report.losses_with_coinbase.scatter_points()
+        ],
+    )
+
+    costs, incomes = report.profit.cost_and_income_series()
+    emit(
+        "fig10_profit.csv",
+        ["cost_usd", "income_usd"],
+        [[round(cost, 2), round(income, 2)] for cost, income in zip(costs, incomes)],
+    )
+
+    from .survival import survival_by_cohort
+
+    emit(
+        "survival_cohorts.csv",
+        ["cohort_year", "time_days", "survival"],
+        [
+            [year, round(time, 2), round(value, 6)]
+            for year, curve in survival_by_cohort(dataset).items()
+            for time, value in zip(curve.times_days, curve.survival)
+        ],
+    )
+
+    emit(
+        "table1_features.csv",
+        ["feature", "reregistered", "control", "p_value", "significant"],
+        [
+            [
+                row.feature,
+                round(row.reregistered_value, 6),
+                round(row.control_value, 6),
+                f"{row.test.p_value:.6e}",
+                row.significant,
+            ]
+            for row in report.comparison.rows
+        ],
+    )
+    return written

@@ -1,0 +1,28 @@
+"""Feature extraction for the Table-1 comparison."""
+
+from .lexical import BOOLEAN_FEATURE_NAMES, LexicalFeatures, extract_lexical
+from .transactional import TransactionalFeatures, extract_transactional
+from .wordlists import (
+    ADULT_WORDS,
+    BRAND_NAMES,
+    DICTIONARY_WORDS,
+    contains_adult_word,
+    contains_brand_name,
+    contains_dictionary_word,
+    is_dictionary_word,
+)
+
+__all__ = [
+    "ADULT_WORDS",
+    "BOOLEAN_FEATURE_NAMES",
+    "BRAND_NAMES",
+    "DICTIONARY_WORDS",
+    "LexicalFeatures",
+    "TransactionalFeatures",
+    "contains_adult_word",
+    "contains_brand_name",
+    "contains_dictionary_word",
+    "extract_lexical",
+    "extract_transactional",
+    "is_dictionary_word",
+]

@@ -1,0 +1,133 @@
+"""Hijackable funds sent to expired, not-yet-recaught names (Figure 7).
+
+A payment is *hijackable* when it lands on the wallet an expired name
+still resolves to, after the grace period has ended (anyone could have
+registered the name and captured it) and before the name was actually
+re-registered. Conservatively, only payments from senders with a prior
+payment relationship during the ownership window count — those are the
+payments plausibly routed through the name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord, TxRecord
+from ..ens.premium import GRACE_PERIOD_DAYS
+from ..oracle.ethusd import EthUsdOracle
+
+__all__ = ["HijackableWindow", "HijackableReport", "find_hijackable"]
+
+_GRACE_SECONDS = GRACE_PERIOD_DAYS * 86_400
+
+
+@dataclass(frozen=True, slots=True)
+class HijackableWindow:
+    """One domain's exposure window and the funds that fell into it."""
+
+    domain_id: str
+    name: str | None
+    wallet: str
+    window_start: int
+    window_end: int
+    txs: tuple[TxRecord, ...]
+
+    def usd_total(self, oracle: EthUsdOracle) -> float:
+        return sum(oracle.wei_to_usd(tx.value_wei, tx.timestamp) for tx in self.txs)
+
+
+@dataclass
+class HijackableReport:
+    """Aggregate of Figure 7."""
+
+    windows: list[HijackableWindow]
+    oracle: EthUsdOracle
+
+    @property
+    def domains_with_exposure(self) -> int:
+        return sum(1 for window in self.windows if window.txs)
+
+    @property
+    def total_txs(self) -> int:
+        return sum(len(window.txs) for window in self.windows)
+
+    def usd_per_domain(self) -> list[float]:
+        """Per-domain hijackable USD (the Figure 7 distribution)."""
+        return [
+            window.usd_total(self.oracle)
+            for window in self.windows
+            if window.txs
+        ]
+
+    @property
+    def total_usd(self) -> float:
+        return sum(self.usd_per_domain())
+
+
+def _release_windows(
+    domain: DomainRecord, cutoff: int
+) -> list[tuple[int, int, str, int, int]]:
+    """(window_start, window_end, wallet, own_start, own_end) tuples."""
+    windows = []
+    registrations = domain.registrations
+    for position, registration in enumerate(registrations):
+        release = registration.expiry_date + _GRACE_SECONDS
+        if position + 1 < len(registrations):
+            window_end = registrations[position + 1].registration_date
+        else:
+            window_end = cutoff
+        if window_end > release:
+            windows.append(
+                (
+                    release,
+                    window_end,
+                    registration.registrant,
+                    registration.registration_date,
+                    registration.expiry_date,
+                )
+            )
+    return windows
+
+
+def find_hijackable(
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    require_prior_relationship: bool = True,
+) -> HijackableReport:
+    """Scan every domain's released windows for captured-able funds."""
+    cutoff = dataset.crawl_timestamp
+    windows: list[HijackableWindow] = []
+    for domain in dataset.iter_domains():
+        for release, window_end, wallet, own_start, own_end in _release_windows(
+            domain, cutoff
+        ):
+            incoming = dataset.incoming_of(wallet)
+            if require_prior_relationship:
+                prior_senders = {
+                    tx.from_address
+                    for tx in incoming
+                    if own_start <= tx.timestamp <= own_end
+                }
+            exposed = tuple(
+                tx
+                for tx in incoming
+                if release < tx.timestamp <= window_end
+                and tx.value_wei > 0
+                and (
+                    not require_prior_relationship
+                    or tx.from_address in prior_senders
+                )
+            )
+            if exposed:
+                windows.append(
+                    HijackableWindow(
+                        domain_id=domain.domain_id,
+                        name=domain.name,
+                        wallet=wallet,
+                        window_start=release,
+                        window_end=window_end,
+                        txs=exposed,
+                    )
+                )
+    return HijackableReport(windows=windows, oracle=oracle)

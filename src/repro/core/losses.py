@@ -1,0 +1,190 @@
+"""The conservative misdirected-funds detector (§4.4).
+
+For every dropcatch (domain ``d``: ``a1`` lost it, ``a2`` caught it),
+a *common sender* ``c`` evidences misdirection when:
+
+1. ``c`` sent funds to ``a1`` while ``a1`` held ``d`` (at least one
+   payment within the actual ownership window);
+2. every ``c → a1`` payment precedes the first ``c → a2`` payment, and
+   none follow it ("never again to a1" — residual-window payments to
+   ``a1`` are allowed, matching the paper's profittrailer example);
+3. ``c`` only ever paid ``a2`` while ``a2`` held ``d`` (no prior
+   relationship with the catcher);
+4. ``c`` is not ``a1``/``a2`` and passes the custodial filter:
+   non-Coinbase exchange addresses are always excluded (many users
+   share them), Coinbase addresses are included only in the
+   ``include_coinbase`` variant.
+
+The output is per-(domain, c) loss records plus the §4.4 aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import TxRecord
+from ..oracle.ethusd import EthUsdOracle
+from .dropcatch import ReRegistration, find_reregistrations
+
+__all__ = ["MisdirectedFlow", "LossReport", "detect_losses"]
+
+
+@dataclass(frozen=True, slots=True)
+class MisdirectedFlow:
+    """One common-sender misdirection: c's payments to a2 via domain d."""
+
+    domain_id: str
+    name: str | None
+    previous_owner: str            # a1
+    new_owner: str                 # a2
+    sender: str                    # c
+    sender_is_coinbase: bool
+    txs_to_previous: int           # c → a1 payments (all windows)
+    txs_to_new: tuple[TxRecord, ...]  # c → a2 payments while a2 held d
+
+    @property
+    def tx_count(self) -> int:
+        return len(self.txs_to_new)
+
+    def usd_total(self, oracle: EthUsdOracle) -> float:
+        return sum(
+            oracle.wei_to_usd(tx.value_wei, tx.timestamp) for tx in self.txs_to_new
+        )
+
+
+@dataclass
+class LossReport:
+    """Aggregated §4.4 numbers for one detector run."""
+
+    flows: list[MisdirectedFlow]
+    oracle: EthUsdOracle
+    include_coinbase: bool
+
+    _usd_cache: list[float] | None = field(default=None, repr=False)
+
+    @property
+    def affected_domains(self) -> int:
+        return len({flow.domain_id for flow in self.flows})
+
+    @property
+    def misdirected_tx_count(self) -> int:
+        return sum(flow.tx_count for flow in self.flows)
+
+    @property
+    def unique_senders(self) -> int:
+        return len({flow.sender for flow in self.flows})
+
+    def usd_amounts(self) -> list[float]:
+        """Per-transaction misdirected USD values (Figure 8's series)."""
+        if self._usd_cache is None:
+            self._usd_cache = [
+                self.oracle.wei_to_usd(tx.value_wei, tx.timestamp)
+                for flow in self.flows
+                for tx in flow.txs_to_new
+            ]
+        return self._usd_cache
+
+    @property
+    def average_usd_per_tx(self) -> float:
+        amounts = self.usd_amounts()
+        return sum(amounts) / len(amounts) if amounts else 0.0
+
+    @property
+    def total_usd(self) -> float:
+        return sum(self.usd_amounts())
+
+    def scatter_points(self) -> list[tuple[int, int, bool]]:
+        """(txs c→a1, txs c→a2, is_coinbase) triples — Figures 9/11."""
+        return [
+            (flow.txs_to_previous, flow.tx_count, flow.sender_is_coinbase)
+            for flow in self.flows
+        ]
+
+
+def detect_losses(
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    include_coinbase: bool = True,
+    events: list[ReRegistration] | None = None,
+    require_prior_relationship: bool = True,
+    enforce_never_again: bool = True,
+) -> LossReport:
+    """Run the conservative detector over every dropcatch.
+
+    ``require_prior_relationship`` and ``enforce_never_again`` relax
+    individual predicates for the ablation benchmarks; both default to
+    the paper's strict behaviour.
+    """
+    if events is None:
+        events = find_reregistrations(dataset)
+    cutoff = dataset.crawl_timestamp or None
+    flows: list[MisdirectedFlow] = []
+    for event in events:
+        a1, a2 = event.previous_owner, event.new_owner
+        if a1 == a2:
+            continue
+        hold_start = event.next.registration_date
+        hold_end = event.next.expiry_date
+        if cutoff is not None:
+            hold_end = min(hold_end, cutoff)
+        incoming_a2 = dataset.incoming_of(a2)
+        senders_to_a2 = {
+            tx.from_address
+            for tx in incoming_a2
+            if hold_start <= tx.timestamp <= hold_end and tx.value_wei > 0
+        }
+        for candidate in sorted(senders_to_a2):
+            if candidate in (a1, a2):
+                continue
+            if candidate in dataset.custodial_addresses:
+                continue  # non-Coinbase custodial: always filtered
+            is_coinbase = candidate in dataset.coinbase_addresses
+            if is_coinbase and not include_coinbase:
+                continue
+            c_to_a2 = [
+                tx for tx in incoming_a2
+                if tx.from_address == candidate and tx.value_wei > 0
+            ]
+            # condition 3: no payments to a2 outside its holding window
+            if any(
+                tx.timestamp < hold_start or tx.timestamp > hold_end
+                for tx in c_to_a2
+            ):
+                continue
+            c_to_a1 = [
+                tx
+                for tx in dataset.incoming_of(a1)
+                if tx.from_address == candidate and tx.value_wei > 0
+            ]
+            if not c_to_a1:
+                continue
+            # condition 1: a payment during a1's actual ownership
+            if require_prior_relationship and not any(
+                event.previous.registration_date
+                <= tx.timestamp
+                <= event.previous.expiry_date
+                for tx in c_to_a1
+            ):
+                continue
+            first_to_a2 = min(tx.timestamp for tx in c_to_a2)
+            # condition 2: never again to a1
+            if enforce_never_again and any(
+                tx.timestamp >= first_to_a2 for tx in c_to_a1
+            ):
+                continue
+            flows.append(
+                MisdirectedFlow(
+                    domain_id=event.domain_id,
+                    name=event.name,
+                    previous_owner=a1,
+                    new_owner=a2,
+                    sender=candidate,
+                    sender_is_coinbase=is_coinbase,
+                    txs_to_previous=len(c_to_a1),
+                    txs_to_new=tuple(
+                        sorted(c_to_a2, key=lambda tx: tx.timestamp)
+                    ),
+                )
+            )
+    return LossReport(flows=flows, oracle=oracle, include_coinbase=include_coinbase)

@@ -1,0 +1,102 @@
+"""Headline report: every §4 number from one dataset, in one pass.
+
+This is the library's "run the whole paper" entry point — benchmarks
+and the quickstart example print it next to the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.dataset import ENSDataset
+from ..oracle.ethusd import EthUsdOracle
+from .actors import ActorConcentration, actor_concentration
+from .comparison import FeatureComparison, compare_groups
+from .dropcatch import DropcatchSummary, find_reregistrations, summarize
+from .hijackable import HijackableReport, find_hijackable
+from .losses import LossReport, detect_losses
+from .profit import ProfitReport, analyze_profit
+from .resale import ResaleReport, analyze_resale
+from .timing import DelayDistribution, delay_distribution
+from .typosquat import TyposquatReport, find_typosquat_catches
+
+__all__ = ["HeadlineReport", "build_report"]
+
+
+@dataclass
+class HeadlineReport:
+    """All §4 results for one dataset."""
+
+    summary: DropcatchSummary
+    delays: DelayDistribution
+    actors: ActorConcentration
+    comparison: FeatureComparison
+    resale: ResaleReport
+    losses_noncustodial: LossReport
+    losses_with_coinbase: LossReport
+    hijackable: HijackableReport
+    profit: ProfitReport
+    typosquat: TyposquatReport
+
+    def lines(self) -> list[str]:
+        """Human-readable report (one finding per line)."""
+        income = self.comparison.row("income_usd")
+        length = self.comparison.row("length")
+        return [
+            f"domains: {self.summary.total_domains}"
+            f" | expired: {self.summary.expired_domains}"
+            f" | re-registered: {self.summary.reregistered_domains}"
+            f" ({self.summary.rereg_rate_among_expired:.1%} of expired)",
+            f"re-registration events: {self.summary.reregistration_events}"
+            f" | domains caught 2+ times: {self.summary.domains_caught_more_than_twice}",
+            f"caught at premium: {self.delays.caught_at_premium}"
+            f" | on premium-end day: {self.delays.caught_on_premium_end_day}"
+            f" | shortly after: {self.delays.caught_shortly_after_premium}",
+            f"unique catchers: {self.actors.unique_catchers}"
+            f" | multi-catch addresses: {self.actors.addresses_with_multiple_catches}"
+            f" | top-3: {[count for _, count in self.actors.top(3)]}",
+            f"income (USD): re-registered {income.reregistered_value:,.0f}"
+            f" vs control {income.control_value:,.0f}"
+            f" (p={income.test.p_value:.2e})",
+            f"length: {length.reregistered_value:.1f}"
+            f" vs {length.control_value:.1f}",
+            f"all Table-1 features significant: {self.comparison.all_significant}",
+            f"resale: {self.resale.listed_fraction:.1%} listed,"
+            f" {self.resale.sold_of_listed:.1%} of listings sold",
+            f"misdirected txs: {self.losses_with_coinbase.misdirected_tx_count}"
+            f" (non-custodial only: {self.losses_noncustodial.misdirected_tx_count})",
+            f"avg misdirected USD/tx:"
+            f" {self.losses_with_coinbase.average_usd_per_tx:,.0f}"
+            f" (non-custodial: {self.losses_noncustodial.average_usd_per_tx:,.0f})",
+            f"hijackable: {self.hijackable.domains_with_exposure} domains,"
+            f" {self.hijackable.total_usd:,.0f} USD exposed",
+            f"profitable catchers: {self.profit.profitable_fraction:.0%}"
+            f" | avg profit: {self.profit.average_profit_usd:,.0f} USD",
+            f"typosquat-of-popular catches: {len(self.typosquat.candidates)}"
+            f" ({self.typosquat.candidate_fraction:.1%} of catches)",
+        ]
+
+
+def build_report(
+    dataset: ENSDataset, oracle: EthUsdOracle, seed: int = 0
+) -> HeadlineReport:
+    """Run every analysis once, sharing the re-registration scan."""
+    events = find_reregistrations(dataset)
+    losses_all = detect_losses(
+        dataset, oracle, include_coinbase=True, events=events
+    )
+    losses_noncustodial = detect_losses(
+        dataset, oracle, include_coinbase=False, events=events
+    )
+    return HeadlineReport(
+        summary=summarize(dataset),
+        delays=delay_distribution(dataset, events=events),
+        actors=actor_concentration(dataset, events=events),
+        comparison=compare_groups(dataset, oracle, seed=seed),
+        resale=analyze_resale(dataset, oracle, events=events),
+        losses_noncustodial=losses_noncustodial,
+        losses_with_coinbase=losses_all,
+        hijackable=find_hijackable(dataset, oracle),
+        profit=analyze_profit(dataset, oracle, losses=losses_all, events=events),
+        typosquat=find_typosquat_catches(dataset, oracle, events=events),
+    )

@@ -1,0 +1,155 @@
+"""Typosquat-flavoured dropcatching (extension).
+
+The authors' companion study (Typosquatting 3.0, eCrime'24) shows
+blockchain names attract typosquatters; dropcatching gives them a
+second channel — catching an *expired* name one edit away from a
+high-income name inherits both residual trust and fat-finger traffic.
+This module screens every dropcatch against the income-weighted popular
+names and reports the candidates.
+
+The edit distance is Damerau-Levenshtein (insert / delete / substitute
+/ adjacent transposition), the standard squatting metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.dataset import ENSDataset
+from ..oracle.ethusd import EthUsdOracle
+from .dropcatch import ReRegistration, find_reregistrations
+from .features.transactional import extract_transactional
+
+__all__ = [
+    "damerau_levenshtein",
+    "within_edit_distance",
+    "TyposquatCandidate",
+    "TyposquatReport",
+    "find_typosquat_catches",
+]
+
+
+def damerau_levenshtein(first: str, second: str) -> int:
+    """Restricted Damerau-Levenshtein distance (adjacent transpositions)."""
+    if first == second:
+        return 0
+    len_a, len_b = len(first), len(second)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    previous2: list[int] = []
+    previous = list(range(len_b + 1))
+    for i in range(1, len_a + 1):
+        current = [i] + [0] * len_b
+        for j in range(1, len_b + 1):
+            substitution_cost = 0 if first[i - 1] == second[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,                      # deletion
+                current[j - 1] + 1,                   # insertion
+                previous[j - 1] + substitution_cost,  # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and first[i - 1] == second[j - 2]
+                and first[i - 2] == second[j - 1]
+            ):
+                current[j] = min(current[j], previous2[j - 2] + 1)
+        previous2, previous = previous, current
+    return previous[len_b]
+
+
+def within_edit_distance(first: str, second: str, k: int = 1) -> bool:
+    """Bounded check with a cheap length prefilter."""
+    if abs(len(first) - len(second)) > k:
+        return False
+    return damerau_levenshtein(first, second) <= k
+
+
+@dataclass(frozen=True, slots=True)
+class TyposquatCandidate:
+    """One dropcatch whose label is an edit away from a popular name."""
+
+    caught_label: str
+    target_label: str
+    target_income_usd: float
+    distance: int
+    new_owner: str
+
+
+@dataclass(frozen=True, slots=True)
+class TyposquatReport:
+    """Screen results over all dropcatches."""
+
+    candidates: tuple[TyposquatCandidate, ...]
+    catches_screened: int
+    popular_targets: int
+
+    @property
+    def candidate_fraction(self) -> float:
+        if not self.catches_screened:
+            return 0.0
+        return len(self.candidates) / self.catches_screened
+
+
+def find_typosquat_catches(
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    events: list[ReRegistration] | None = None,
+    min_target_income_usd: float = 10_000.0,
+    max_distance: int = 1,
+    exclude_numeric_pairs: bool = True,
+) -> TyposquatReport:
+    """Match dropcaught labels against high-income target names.
+
+    ``min_target_income_usd`` defines "popular": total USD received by
+    the name's wallet during its (first) registration period.
+    ``exclude_numeric_pairs`` drops matches where both labels are pure
+    digits — the short numeric "clubs" are all one edit apart by
+    construction, which is proximity, not typosquatting.
+    """
+    if events is None:
+        events = find_reregistrations(dataset)
+    targets: dict[str, float] = {}
+    for domain in dataset.iter_domains():
+        if not domain.label_name or not domain.registrations:
+            continue
+        income = extract_transactional(
+            dataset, domain.registrations[0], oracle
+        ).income_usd
+        if income >= min_target_income_usd:
+            targets[domain.label_name] = income
+
+    candidates: list[TyposquatCandidate] = []
+    screened = 0
+    for event in events:
+        if event.name is None:
+            continue
+        caught_label = event.name.removesuffix(".eth")
+        screened += 1
+        for target_label, income in targets.items():
+            if target_label == caught_label:
+                continue
+            if (
+                exclude_numeric_pairs
+                and caught_label.isdigit()
+                and target_label.isdigit()
+            ):
+                continue
+            if within_edit_distance(caught_label, target_label, max_distance):
+                candidates.append(
+                    TyposquatCandidate(
+                        caught_label=caught_label,
+                        target_label=target_label,
+                        target_income_usd=income,
+                        distance=damerau_levenshtein(caught_label, target_label),
+                        new_owner=event.new_owner,
+                    )
+                )
+                break  # one (best-effort) target per catch
+    return TyposquatReport(
+        candidates=tuple(candidates),
+        catches_screened=screened,
+        popular_targets=len(targets),
+    )

@@ -1,0 +1,19 @@
+"""Data-collection clients and pipeline (the paper's released crawler)."""
+
+from .etherscan_client import EtherscanClient, EtherscanCrawlError
+from .opensea_client import OpenSeaClient
+from .pipeline import CrawlReport, DataCollectionPipeline
+from .storage import load_dataset, save_dataset
+from .subgraph_client import SubgraphClient, SubgraphCrawlError
+
+__all__ = [
+    "CrawlReport",
+    "DataCollectionPipeline",
+    "EtherscanClient",
+    "EtherscanCrawlError",
+    "OpenSeaClient",
+    "SubgraphClient",
+    "SubgraphCrawlError",
+    "load_dataset",
+    "save_dataset",
+]

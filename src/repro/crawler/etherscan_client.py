@@ -1,0 +1,115 @@
+"""Crawler client for the explorer API (§3.2 of the paper).
+
+Pulls the full transaction history of each wallet address, handling the
+two operational hazards of the real Etherscan API: free-tier rate
+limiting (retry with exponential backoff against the shared virtual
+clock) and the 10,000-row result window (block-range cursoring for deep
+histories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..datasets.schema import TxRecord
+from ..explorer.api import EtherscanAPI, MAX_TXLIST_WINDOW, RateLimitError
+
+__all__ = ["EtherscanClient", "EtherscanCrawlError"]
+
+
+class EtherscanCrawlError(RuntimeError):
+    """The API kept rate-limiting past the retry budget."""
+
+
+@dataclass
+class EtherscanClient:
+    """Backoff-aware txlist crawler."""
+
+    api: EtherscanAPI
+    page_size: int = 1000
+    max_retries: int = 8
+    initial_backoff_seconds: float = 0.25
+    requests_made: int = field(default=0, init=False)
+    retries_performed: int = field(default=0, init=False)
+
+    def _call_with_backoff(self, **kwargs) -> list[dict[str, object]]:
+        backoff = self.initial_backoff_seconds
+        for attempt in range(self.max_retries + 1):
+            try:
+                self.requests_made += 1
+                return self.api.txlist(**kwargs)
+            except RateLimitError:
+                if attempt == self.max_retries:
+                    raise EtherscanCrawlError(
+                        f"rate limited {self.max_retries + 1} times in a row"
+                    )
+                self.retries_performed += 1
+                self.api.clock.sleep(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable")
+
+    def fetch_transactions(self, address: str) -> list[TxRecord]:
+        """Full history of one address, oldest first.
+
+        Pages through (page, offset) windows; when an address has more
+        than 10,000 transactions, restarts pagination from the next
+        block past the last row seen (Etherscan's documented recipe).
+        """
+        records: list[TxRecord] = []
+        seen: set[str] = set()
+        start_block = 0
+        while True:
+            rows_in_range = 0
+            page = 1
+            exhausted_window = False
+            while True:
+                if page * self.page_size > MAX_TXLIST_WINDOW:
+                    exhausted_window = True
+                    break
+                rows = self._call_with_backoff(
+                    address=address,
+                    startblock=start_block,
+                    page=page,
+                    offset=self.page_size,
+                    sort="asc",
+                )
+                for row in rows:
+                    record = TxRecord.from_api_row(row)
+                    if record.tx_hash not in seen:
+                        seen.add(record.tx_hash)
+                        records.append(record)
+                rows_in_range += len(rows)
+                if len(rows) < self.page_size:
+                    break
+                page += 1
+            if not exhausted_window or rows_in_range == 0:
+                return records
+            # Deep history: continue from the block after the last row.
+            start_block = records[-1].block_number + 1
+
+    def fetch_many(self, addresses: Iterable[str]) -> list[TxRecord]:
+        """Histories of many addresses, de-duplicated across overlaps."""
+        merged: list[TxRecord] = []
+        seen: set[str] = set()
+        for address in addresses:
+            for record in self.fetch_transactions(address):
+                if record.tx_hash not in seen:
+                    seen.add(record.tx_hash)
+                    merged.append(record)
+        return merged
+
+    def fetch_label_category(self, category: str) -> list[str]:
+        """Address list for a label category (custodial/Coinbase seeds)."""
+        backoff = self.initial_backoff_seconds
+        for attempt in range(self.max_retries + 1):
+            try:
+                self.requests_made += 1
+                return self.api.labels_in_category(category)
+            except RateLimitError:
+                if attempt == self.max_retries:
+                    raise EtherscanCrawlError("rate limited fetching labels")
+                self.retries_performed += 1
+                self.api.clock.sleep(backoff)
+                backoff *= 2
+        raise AssertionError("unreachable")

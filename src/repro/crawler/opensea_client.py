@@ -1,0 +1,44 @@
+"""Crawler client for the marketplace events API (§4.2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..datasets.schema import MarketEventRecord
+from ..marketplace.api import OpenSeaAPI
+
+__all__ = ["OpenSeaClient"]
+
+
+@dataclass
+class OpenSeaClient:
+    """Cursor-paginating events crawler."""
+
+    api: OpenSeaAPI
+    requests_made: int = field(default=0, init=False)
+
+    def fetch_token_events(self, token_id: str) -> list[MarketEventRecord]:
+        """All events for one ENS token (labelhash), oldest first."""
+        events: list[MarketEventRecord] = []
+        cursor = 0
+        while True:
+            self.requests_made += 1
+            page = self.api.asset_events(token_id=token_id, cursor=cursor)
+            events.extend(
+                MarketEventRecord.from_api_row(row) for row in page["asset_events"]
+            )
+            if page["next"] is None:
+                break
+            cursor = page["next"]
+        events.reverse()  # the API serves newest-first
+        return events
+
+    def fetch_events_for_tokens(
+        self, token_ids: Iterable[str]
+    ) -> list[MarketEventRecord]:
+        """Event histories for a token set (the re-registered domains)."""
+        collected: list[MarketEventRecord] = []
+        for token_id in token_ids:
+            collected.extend(self.fetch_token_events(token_id))
+        return collected

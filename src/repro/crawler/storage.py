@@ -1,0 +1,100 @@
+"""Dataset persistence: JSONL files, one record per line.
+
+Layout of a dataset directory::
+
+    meta.json            crawl timestamp + label lists
+    domains.jsonl        one DomainRecord per line
+    transactions.jsonl   one TxRecord per line
+    market_events.jsonl  one MarketEventRecord per line
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord, MarketEventRecord, TxRecord
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_DOMAINS_FILE = "domains.jsonl"
+_TRANSACTIONS_FILE = "transactions.jsonl"
+_MARKET_FILE = "market_events.jsonl"
+_META_FILE = "meta.json"
+
+
+def _write_jsonl(path: Path, rows: Iterator[dict[str, Any]]) -> int:
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def _read_jsonl(path: Path, parse: Callable[[dict[str, Any]], Any]) -> list[Any]:
+    if not path.exists():
+        return []
+    records = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(parse(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path.name}:{line_number}: malformed record ({exc})"
+                ) from exc
+    return records
+
+
+def save_dataset(dataset: ENSDataset, directory: str | Path) -> Path:
+    """Write a dataset to ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    _write_jsonl(
+        directory / _DOMAINS_FILE,
+        (domain.as_dict() for domain in dataset.domains.values()),
+    )
+    _write_jsonl(
+        directory / _TRANSACTIONS_FILE,
+        (tx.as_dict() for tx in dataset.transactions),
+    )
+    _write_jsonl(
+        directory / _MARKET_FILE,
+        (event.as_dict() for event in dataset.market_events),
+    )
+    meta = {
+        "crawlTimestamp": dataset.crawl_timestamp,
+        "coinbaseAddresses": sorted(dataset.coinbase_addresses),
+        "custodialAddresses": sorted(dataset.custodial_addresses),
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return directory
+
+
+def load_dataset(directory: str | Path) -> ENSDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{directory} does not contain a dataset (no meta.json)")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    dataset = ENSDataset(
+        coinbase_addresses=set(meta["coinbaseAddresses"]),
+        custodial_addresses=set(meta["custodialAddresses"]),
+        crawl_timestamp=meta["crawlTimestamp"],
+    )
+    for domain in _read_jsonl(directory / _DOMAINS_FILE, DomainRecord.from_dict):
+        dataset.add_domain(domain)
+    dataset.transactions = _read_jsonl(
+        directory / _TRANSACTIONS_FILE, TxRecord.from_dict
+    )
+    dataset.market_events = _read_jsonl(
+        directory / _MARKET_FILE, MarketEventRecord.from_dict
+    )
+    return dataset

@@ -1,0 +1,117 @@
+"""Crawler client for the ENS subgraph (§3.1 of the paper).
+
+Enumerates every domain entity the endpoint will serve using ``id_gt``
+cursor pagination — the technique that sidesteps The Graph's 5000-row
+``skip`` ceiling — and converts rows into :class:`DomainRecord`s.
+Domains the endpoint never returns (its indexing gap) are precisely the
+paper's "34K names unrecoverable due to API limitations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..datasets.schema import DomainRecord, RegistrationRecord
+from ..indexer.endpoint import MAX_FIRST, SubgraphEndpoint
+
+__all__ = ["SubgraphClient", "SubgraphCrawlError"]
+
+_DOMAIN_QUERY_TEMPLATE = """
+{{
+  domains(first: {first}, orderBy: id, orderDirection: asc,
+          where: {{id_gt: "{cursor}"}}) {{
+    id name labelName labelhash createdAt owner resolvedAddress
+    subdomainCount
+    registrations {{
+      id registrant registrationDate expiryDate
+      costWei baseCostWei premiumWei
+    }}
+  }}
+}}
+"""
+
+
+class SubgraphCrawlError(RuntimeError):
+    """The endpoint kept returning errors past the retry budget."""
+
+
+@dataclass
+class SubgraphClient:
+    """Cursor-paginating GraphQL crawler."""
+
+    endpoint: SubgraphEndpoint
+    page_size: int = MAX_FIRST
+    max_retries: int = 3
+    pages_fetched: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.page_size <= MAX_FIRST:
+            raise ValueError(f"page_size must be within 1..{MAX_FIRST}")
+
+    # -- raw paging ----------------------------------------------------------
+
+    def _fetch_page(self, cursor: str) -> list[dict[str, Any]]:
+        query = _DOMAIN_QUERY_TEMPLATE.format(first=self.page_size, cursor=cursor)
+        last_error = "no attempts made"
+        for _ in range(self.max_retries):
+            response = self.endpoint.query(query)
+            if "errors" not in response:
+                self.pages_fetched += 1
+                return response["data"]["domains"]
+            last_error = response["errors"][0]["message"]
+        raise SubgraphCrawlError(f"subgraph query failed: {last_error}")
+
+    # -- record conversion -------------------------------------------------------
+
+    @staticmethod
+    def _to_record(row: dict[str, Any]) -> DomainRecord:
+        return DomainRecord(
+            domain_id=row["id"],
+            name=row["name"],
+            label_name=row["labelName"],
+            labelhash=row["labelhash"],
+            created_at=row["createdAt"],
+            owner=row["owner"],
+            resolved_address=row["resolvedAddress"],
+            subdomain_count=row["subdomainCount"],
+            registrations=[
+                RegistrationRecord(
+                    registration_id=reg["id"],
+                    registrant=reg["registrant"],
+                    registration_date=reg["registrationDate"],
+                    expiry_date=reg["expiryDate"],
+                    cost_wei=reg["costWei"],
+                    base_cost_wei=reg["baseCostWei"],
+                    premium_wei=reg["premiumWei"],
+                )
+                for reg in row["registrations"]
+            ],
+        )
+
+    # -- the crawl -------------------------------------------------------------------
+
+    def fetch_all_domains(self) -> list[DomainRecord]:
+        """Enumerate every visible domain via id cursor pagination."""
+        records: list[DomainRecord] = []
+        cursor = ""
+        while True:
+            rows = self._fetch_page(cursor)
+            if not rows:
+                return records
+            records.extend(self._to_record(row) for row in rows)
+            cursor = rows[-1]["id"]
+
+    def fetch_domain(self, domain_id: str) -> DomainRecord | None:
+        """Point lookup of one domain by namehash id."""
+        query = (
+            '{ domains(first: 1, where: {id: "%s"}) {'
+            " id name labelName labelhash createdAt owner resolvedAddress"
+            " subdomainCount registrations { id registrant registrationDate"
+            " expiryDate costWei baseCostWei premiumWei } } }" % domain_id
+        )
+        response = self.endpoint.query(query)
+        if "errors" in response:
+            raise SubgraphCrawlError(response["errors"][0]["message"])
+        rows = response["data"]["domains"]
+        return self._to_record(rows[0]) if rows else None

@@ -1,0 +1,13 @@
+"""Dataset model shared by the crawler and the analyses."""
+
+from .dataset import DatasetIntegrityError, ENSDataset
+from .schema import DomainRecord, MarketEventRecord, RegistrationRecord, TxRecord
+
+__all__ = [
+    "DatasetIntegrityError",
+    "DomainRecord",
+    "ENSDataset",
+    "MarketEventRecord",
+    "RegistrationRecord",
+    "TxRecord",
+]

@@ -1,0 +1,157 @@
+"""The assembled study dataset: domains + transactions + market + labels.
+
+The crawler produces one :class:`ENSDataset`; every analysis in
+:mod:`repro.core` consumes one. Builds the secondary indexes the
+analyses need (transactions by address/direction, registrant activity)
+once, up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .schema import DomainRecord, MarketEventRecord, TxRecord
+
+__all__ = ["ENSDataset", "DatasetIntegrityError"]
+
+
+class DatasetIntegrityError(ValueError):
+    """The dataset violates a structural invariant."""
+
+
+@dataclass
+class ENSDataset:
+    """Everything the paper's analyses read."""
+
+    domains: dict[str, DomainRecord] = field(default_factory=dict)
+    transactions: list[TxRecord] = field(default_factory=list)
+    market_events: list[MarketEventRecord] = field(default_factory=list)
+    coinbase_addresses: set[str] = field(default_factory=set)
+    custodial_addresses: set[str] = field(default_factory=set)  # non-Coinbase
+    crawl_timestamp: int = 0
+
+    _incoming: dict[str, list[TxRecord]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _outgoing: dict[str, list[TxRecord]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed: bool = field(default=False, repr=False, compare=False)
+
+    # -- construction ------------------------------------------------------------
+
+    def add_domain(self, domain: DomainRecord) -> None:
+        self.domains[domain.domain_id] = domain
+
+    def add_transactions(self, records: Iterable[TxRecord]) -> None:
+        """Append transactions, dropping duplicates by hash."""
+        known = {tx.tx_hash for tx in self.transactions}
+        for record in records:
+            if record.tx_hash not in known:
+                known.add(record.tx_hash)
+                self.transactions.append(record)
+        self._indexed = False
+
+    def add_market_events(self, records: Iterable[MarketEventRecord]) -> None:
+        self.market_events.extend(records)
+
+    # -- indexes -------------------------------------------------------------------
+
+    def _build_indexes(self) -> None:
+        self._incoming.clear()
+        self._outgoing.clear()
+        for tx in self.transactions:
+            self._outgoing.setdefault(tx.from_address, []).append(tx)
+            self._incoming.setdefault(tx.to_address, []).append(tx)
+        for index in (self._incoming, self._outgoing):
+            for records in index.values():
+                records.sort(key=lambda tx: tx.timestamp)
+        self._indexed = True
+
+    def incoming_of(self, address: str) -> list[TxRecord]:
+        """Successful value transfers received by ``address``, oldest first."""
+        if not self._indexed:
+            self._build_indexes()
+        return [tx for tx in self._incoming.get(address, ()) if not tx.is_error]
+
+    def outgoing_of(self, address: str) -> list[TxRecord]:
+        if not self._indexed:
+            self._build_indexes()
+        return [tx for tx in self._outgoing.get(address, ()) if not tx.is_error]
+
+    # -- views ----------------------------------------------------------------------
+
+    def iter_domains(self) -> Iterator[DomainRecord]:
+        return iter(self.domains.values())
+
+    def domain_by_name(self, name: str) -> DomainRecord | None:
+        for domain in self.domains.values():
+            if domain.name == name:
+                return domain
+        return None
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.domains)
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self.transactions)
+
+    def registrant_addresses(self) -> set[str]:
+        """Every address that ever registered a domain."""
+        addresses: set[str] = set()
+        for domain in self.domains.values():
+            for registration in domain.registrations:
+                addresses.add(registration.registrant)
+        return addresses
+
+    def wallet_addresses(self) -> set[str]:
+        """Addresses relevant to transaction crawling: registrants plus
+        the wallets domains resolve(d) to."""
+        addresses = self.registrant_addresses()
+        for domain in self.domains.values():
+            if domain.resolved_address:
+                addresses.add(domain.resolved_address)
+        return addresses
+
+    # -- integrity ---------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetIntegrityError` on structural violations."""
+        for domain in self.domains.values():
+            if not domain.registrations:
+                raise DatasetIntegrityError(
+                    f"domain {domain.domain_id} has no registrations"
+                )
+            dates = [r.registration_date for r in domain.registrations]
+            if dates != sorted(dates):
+                raise DatasetIntegrityError(
+                    f"domain {domain.domain_id} registrations out of order"
+                )
+            for registration in domain.registrations:
+                if registration.expiry_date <= registration.registration_date:
+                    raise DatasetIntegrityError(
+                        f"registration {registration.registration_id} expires"
+                        " before it starts"
+                    )
+                if registration.cost_wei != (
+                    registration.base_cost_wei + registration.premium_wei
+                ):
+                    raise DatasetIntegrityError(
+                        f"registration {registration.registration_id} cost"
+                        " split does not add up"
+                    )
+        seen_hashes: set[str] = set()
+        for tx in self.transactions:
+            if tx.tx_hash in seen_hashes:
+                raise DatasetIntegrityError(f"duplicate transaction {tx.tx_hash}")
+            seen_hashes.add(tx.tx_hash)
+            if tx.value_wei < 0:
+                raise DatasetIntegrityError(f"negative value in {tx.tx_hash}")
+        overlap = self.coinbase_addresses & self.custodial_addresses
+        if overlap:
+            raise DatasetIntegrityError(
+                f"{len(overlap)} addresses are both Coinbase and non-Coinbase"
+            )

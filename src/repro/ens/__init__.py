@@ -1,0 +1,67 @@
+"""ENS protocol implementation (registry, registrar, resolver, pricing).
+
+The public surface downstream code uses:
+
+* :func:`namehash` / :func:`labelhash` — EIP-137 hashing (real keccak).
+* :func:`normalize_name` / :func:`registrable_label` — ENSIP-15-lite.
+* :class:`ENSDeployment` — deploy + drive a full ENS instance.
+* :class:`PremiumCurve` — the 21-day Dutch-auction premium.
+* :class:`RentPriceOracle` — USD-denominated base pricing.
+"""
+
+from .deployment import ENSDeployment
+from .namehash import ETH_NODE, ROOT_NODE, labelhash, namehash
+from .normalize import (
+    ETH_TLD,
+    MIN_REGISTRABLE_LABEL_LENGTH,
+    is_valid_label,
+    normalize_label,
+    normalize_name,
+    registrable_label,
+    split_name,
+)
+from .premium import (
+    DEFAULT_PREMIUM,
+    GRACE_PERIOD_DAYS,
+    PREMIUM_PERIOD_DAYS,
+    PremiumCurve,
+)
+from .pricing import RentPriceOracle
+from .registrar import (
+    GRACE_PERIOD_SECONDS,
+    MIN_REGISTRATION_DURATION,
+    BaseRegistrar,
+    RegistrarController,
+)
+from .registry import ENSRegistry
+from .resolver import PublicResolver
+from .reverse import ADDR_REVERSE_NODE, ReverseRegistrar, reverse_node_of
+
+__all__ = [
+    "ADDR_REVERSE_NODE",
+    "ReverseRegistrar",
+    "reverse_node_of",
+    "BaseRegistrar",
+    "DEFAULT_PREMIUM",
+    "ENSDeployment",
+    "ENSRegistry",
+    "ETH_NODE",
+    "ETH_TLD",
+    "GRACE_PERIOD_DAYS",
+    "GRACE_PERIOD_SECONDS",
+    "MIN_REGISTRABLE_LABEL_LENGTH",
+    "MIN_REGISTRATION_DURATION",
+    "PREMIUM_PERIOD_DAYS",
+    "PremiumCurve",
+    "PublicResolver",
+    "RegistrarController",
+    "RentPriceOracle",
+    "ROOT_NODE",
+    "is_valid_label",
+    "labelhash",
+    "namehash",
+    "normalize_label",
+    "normalize_name",
+    "registrable_label",
+    "split_name",
+]

@@ -1,0 +1,45 @@
+"""ENS namehash and labelhash (EIP-137) over real Keccak-256.
+
+This is the exact algorithm mainnet ENS uses — names are stored on
+chain only as these hashes, which is why the paper needed the subgraph
+to recover readable names (§3.1). Hashes are memoized because the
+simulation touches the same labels many times and pure-Python keccak
+is expensive.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..chain.crypto.keccak import keccak_256
+from ..chain.types import Hash32
+from .normalize import normalize_name
+
+__all__ = ["labelhash", "namehash", "ROOT_NODE", "ETH_NODE"]
+
+ROOT_NODE = Hash32(b"\x00" * 32)
+
+
+@lru_cache(maxsize=1_000_000)
+def labelhash(label: str) -> Hash32:
+    """Keccak-256 of a single (already normalized) label's UTF-8 bytes."""
+    return Hash32(keccak_256(label.encode("utf-8")))
+
+
+@lru_cache(maxsize=1_000_000)
+def _namehash_normalized(name: str) -> Hash32:
+    if not name:
+        return ROOT_NODE
+    label, _, remainder = name.partition(".")
+    parent = _namehash_normalized(remainder)
+    return Hash32(keccak_256(parent.raw + labelhash(label).raw))
+
+
+def namehash(name: str) -> Hash32:
+    """EIP-137 namehash of a dotted ENS name ('' hashes to the root node)."""
+    if name == "":
+        return ROOT_NODE
+    return _namehash_normalized(normalize_name(name))
+
+
+ETH_NODE = namehash("eth")

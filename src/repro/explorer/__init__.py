@@ -1,0 +1,32 @@
+"""Etherscan-like blockchain explorer substrate."""
+
+from .api import (
+    ApiError,
+    EtherscanAPI,
+    MAX_TXLIST_WINDOW,
+    RateLimitError,
+    VirtualClock,
+)
+from .database import ExplorerDatabase, TxEntry
+from .labels import (
+    CATEGORY_COINBASE,
+    CATEGORY_CONTRACT,
+    CATEGORY_CUSTODIAL_EXCHANGE,
+    AddressLabel,
+    LabelRegistry,
+)
+
+__all__ = [
+    "AddressLabel",
+    "ApiError",
+    "CATEGORY_COINBASE",
+    "CATEGORY_CONTRACT",
+    "CATEGORY_CUSTODIAL_EXCHANGE",
+    "EtherscanAPI",
+    "ExplorerDatabase",
+    "LabelRegistry",
+    "MAX_TXLIST_WINDOW",
+    "RateLimitError",
+    "TxEntry",
+    "VirtualClock",
+]

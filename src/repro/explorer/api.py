@@ -1,0 +1,214 @@
+"""Etherscan-style HTTP API facade: txlist pagination + rate limiting.
+
+Mirrors the operational constraints the paper's §3.2 crawl worked
+against:
+
+* ``account/txlist`` returns at most 10,000 rows per (page, offset)
+  window — deep histories need block-range cursoring;
+* free-tier rate limiting (5 calls/second) — the crawler must back off.
+
+Time is a :class:`VirtualClock` so tests and benchmarks exercise the
+throttle/backoff logic deterministically without real sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.types import Address
+from .database import ExplorerDatabase, TxEntry
+from .labels import LabelRegistry
+
+__all__ = [
+    "VirtualClock",
+    "RateLimitError",
+    "ApiError",
+    "EtherscanAPI",
+    "MAX_TXLIST_WINDOW",
+]
+
+# Etherscan caps page * offset at 10,000 rows per txlist query.
+MAX_TXLIST_WINDOW = 10_000
+DEFAULT_RATE_LIMIT_PER_SECOND = 5
+
+
+class ApiError(Exception):
+    """Generic API failure (bad parameters, unknown module...)."""
+
+
+class RateLimitError(ApiError):
+    """Raised in place of Etherscan's 'Max rate limit reached' reply."""
+
+
+@dataclass
+class VirtualClock:
+    """A manually-advanced wall clock shared by API and client."""
+
+    _now: float = 0.0
+    slept_total: float = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+        self.slept_total += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.sleep(seconds)
+
+
+@dataclass
+class EtherscanAPI:
+    """The public explorer API over one database + label registry."""
+
+    database: ExplorerDatabase
+    labels: LabelRegistry
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    rate_limit_per_second: int = DEFAULT_RATE_LIMIT_PER_SECOND
+    calls_served: int = 0
+    calls_rejected: int = 0
+    _window_start: float = field(default=0.0, repr=False)
+    _window_calls: int = field(default=0, repr=False)
+
+    # -- throttle ----------------------------------------------------------
+
+    def _throttle(self) -> None:
+        now = self.clock.now()
+        if now - self._window_start >= 1.0:
+            self._window_start = now
+            self._window_calls = 0
+        if self._window_calls >= self.rate_limit_per_second:
+            self.calls_rejected += 1
+            raise RateLimitError("Max rate limit reached")
+        self._window_calls += 1
+        self.calls_served += 1
+
+    # -- account module -----------------------------------------------------
+
+    def txlist(
+        self,
+        address: Address | str,
+        startblock: int = 0,
+        endblock: int = 2**62,
+        page: int = 1,
+        offset: int = 1000,
+        sort: str = "asc",
+    ) -> list[dict[str, object]]:
+        """Transactions touching ``address`` (Etherscan account.txlist).
+
+        ``page`` is 1-based; ``offset`` is the page size. Requests whose
+        window reaches past row 10,000 are rejected like the real API —
+        callers paginate deep histories by narrowing the block range.
+        """
+        self._throttle()
+        self.database.sync()
+        if page < 1 or offset < 1:
+            raise ApiError("page and offset must be positive")
+        if page * offset > MAX_TXLIST_WINDOW:
+            raise ApiError(
+                f"result window is too large, page * offset must be"
+                f" <= {MAX_TXLIST_WINDOW}"
+            )
+        if sort not in ("asc", "desc"):
+            raise ApiError(f"unknown sort order {sort!r}")
+        entries = [
+            entry
+            for entry in self.database.transactions_of(address)
+            if startblock <= entry.block_number <= endblock
+        ]
+        entries.sort(key=lambda e: e.block_number, reverse=(sort == "desc"))
+        window = entries[(page - 1) * offset : page * offset]
+        return [entry.as_api_dict() for entry in window]
+
+    def txlistinternal(
+        self,
+        address: Address | str,
+        startblock: int = 0,
+        endblock: int = 2**62,
+        page: int = 1,
+        offset: int = 1000,
+    ) -> list[dict[str, object]]:
+        """Internal transactions touching ``address`` (account.txlistinternal).
+
+        Registrar refunds and payouts live here, NOT in txlist — which is
+        why income analyses over txlist data are clean of contract noise.
+        """
+        self._throttle()
+        self.database.sync()
+        if page < 1 or offset < 1:
+            raise ApiError("page and offset must be positive")
+        if page * offset > MAX_TXLIST_WINDOW:
+            raise ApiError(
+                f"result window is too large, page * offset must be"
+                f" <= {MAX_TXLIST_WINDOW}"
+            )
+        entries = [
+            internal
+            for internal in self.database.internal_transfers_of(address)
+            if startblock <= internal.block_number <= endblock
+        ]
+        entries.sort(key=lambda e: (e.block_number, e.index))
+        window = entries[(page - 1) * offset : page * offset]
+        return [internal.as_api_dict() for internal in window]
+
+    def get_transaction(self, tx_hash: str) -> dict[str, object] | None:
+        """Point lookup of one transaction by hash (proxy.eth_getTransaction)."""
+        self._throttle()
+        self.database.sync()
+        from ..chain.types import Hash32
+
+        try:
+            receipt = self.database.chain.get_receipt(Hash32.from_hex(tx_hash))
+        except Exception:
+            return None
+        return {
+            "hash": receipt.tx_hash.hex,
+            "blockNumber": str(receipt.block_number),
+            "timeStamp": str(receipt.timestamp),
+            "from": receipt.from_address.hex,
+            "to": receipt.to_address.hex,
+            "value": str(receipt.value),
+            "isError": "0" if receipt.success else "1",
+        }
+
+    def get_block(self, number: int) -> dict[str, object] | None:
+        """Block header lookup (proxy.eth_getBlockByNumber)."""
+        self._throttle()
+        self.database.sync()
+        from ..chain.errors import UnknownAccount
+
+        try:
+            block = self.database.chain.get_block(number)
+        except UnknownAccount:
+            return None
+        return {
+            "number": str(block.number),
+            "timestamp": str(block.timestamp),
+            "hash": block.hash().hex,
+            "parentHash": block.parent_hash.hex,
+            "transactionCount": str(block.transaction_count),
+        }
+
+    def balance_like_count(self, address: Address | str) -> int:
+        """Number of indexed transactions for an address (cheap probe)."""
+        self._throttle()
+        self.database.sync()
+        return len(self.database.transactions_of(address))
+
+    # -- label module (scrape-equivalent) -----------------------------------------
+
+    def get_label(self, address: Address | str) -> dict[str, str] | None:
+        """Public name tag for an address, if any."""
+        self._throttle()
+        label = self.labels.get(address)
+        if label is None:
+            return None
+        return {"name": label.name, "category": label.category}
+
+    def labels_in_category(self, category: str) -> list[str]:
+        """All addresses carrying a category tag (the paper's 558/25 lists)."""
+        self._throttle()
+        return self.labels.addresses_in_category(category)

@@ -1,0 +1,32 @@
+"""The Graph-like subgraph substrate for ENS."""
+
+from .endpoint import MAX_FIRST, MAX_SKIP, SubgraphEndpoint
+from .entities import (
+    EVENT_NAME_MIGRATED,
+    EVENT_NAME_REGISTERED,
+    EVENT_NAME_RENEWED,
+    EVENT_NAME_TRANSFERRED,
+    DomainEntity,
+    RegistrationEntity,
+    RegistrationEventRecord,
+)
+from .query import FieldNode, GraphQLError, execute_query, parse_query
+from .subgraph import ENSSubgraph
+
+__all__ = [
+    "DomainEntity",
+    "ENSSubgraph",
+    "EVENT_NAME_MIGRATED",
+    "EVENT_NAME_REGISTERED",
+    "EVENT_NAME_RENEWED",
+    "EVENT_NAME_TRANSFERRED",
+    "FieldNode",
+    "GraphQLError",
+    "MAX_FIRST",
+    "MAX_SKIP",
+    "RegistrationEntity",
+    "RegistrationEventRecord",
+    "SubgraphEndpoint",
+    "execute_query",
+    "parse_query",
+]

@@ -1,0 +1,128 @@
+"""Entity schema of the ENS subgraph (the slice the paper's crawl uses).
+
+Field names follow the real subgraph's GraphQL schema (camelCase ids,
+``labelName`` nullable when the indexer has never seen the plaintext
+label) so the crawler code reads like code written against the actual
+endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DomainEntity",
+    "RegistrationEntity",
+    "RegistrationEventRecord",
+    "EVENT_NAME_REGISTERED",
+    "EVENT_NAME_RENEWED",
+    "EVENT_NAME_TRANSFERRED",
+    "EVENT_NAME_MIGRATED",
+]
+
+EVENT_NAME_REGISTERED = "NameRegistered"
+EVENT_NAME_RENEWED = "NameRenewed"
+EVENT_NAME_TRANSFERRED = "NameTransferred"
+EVENT_NAME_MIGRATED = "NameMigrated"
+
+
+@dataclass(slots=True)
+class RegistrationEventRecord:
+    """One lifecycle event attached to a registration."""
+
+    id: str                      # "<tx_hash>-<log_index>"
+    event_type: str              # one of the EVENT_* constants
+    block_number: int
+    timestamp: int
+    tx_hash: str
+    registrant: str | None = None   # new owner for register/transfer
+    expiry_date: int | None = None
+    cost_wei: int | None = None
+    base_cost_wei: int | None = None
+    premium_wei: int | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "eventType": self.event_type,
+            "blockNumber": self.block_number,
+            "timestamp": self.timestamp,
+            "txHash": self.tx_hash,
+            "registrant": self.registrant,
+            "expiryDate": self.expiry_date,
+            "costWei": self.cost_wei,
+            "baseCostWei": self.base_cost_wei,
+            "premiumWei": self.premium_wei,
+        }
+
+
+@dataclass(slots=True)
+class RegistrationEntity:
+    """One registration *period*: from a NameRegistered to its expiry.
+
+    A domain re-registered by a new owner gets a fresh registration
+    entity — this one-to-many structure is what lets the paper count
+    registration cycles per domain.
+    """
+
+    id: str                      # "<labelhash>-<ordinal>"
+    domain_id: str               # namehash of the 2LD
+    label_name: str | None
+    registration_date: int
+    expiry_date: int
+    registrant: str
+    cost_wei: int
+    base_cost_wei: int
+    premium_wei: int
+    events: list[RegistrationEventRecord] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "domain": self.domain_id,
+            "labelName": self.label_name,
+            "registrationDate": self.registration_date,
+            "expiryDate": self.expiry_date,
+            "registrant": self.registrant,
+            "costWei": self.cost_wei,
+            "baseCostWei": self.base_cost_wei,
+            "premiumWei": self.premium_wei,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+
+@dataclass(slots=True)
+class DomainEntity:
+    """A name node: current ownership/resolution plus history pointers."""
+
+    id: str                      # namehash hex
+    name: str | None             # full dotted name, None if label unknown
+    label_name: str | None
+    labelhash: str
+    parent_id: str | None
+    created_at: int
+    owner: str
+    registrant: str | None = None
+    expiry_date: int | None = None
+    resolver_address: str | None = None
+    resolved_address: str | None = None
+    subdomain_count: int = 0
+    registration_ids: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "labelName": self.label_name,
+            "labelhash": self.labelhash,
+            "parent": self.parent_id,
+            "createdAt": self.created_at,
+            "owner": self.owner,
+            "registrant": self.registrant,
+            "expiryDate": self.expiry_date,
+            "resolverAddress": self.resolver_address,
+            "resolvedAddress": self.resolved_address,
+            "subdomainCount": self.subdomain_count,
+            "registrations": list(self.registration_ids),
+        }

@@ -1,0 +1,52 @@
+"""OpenSea-style events API: cursor pagination over market events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.types import Hash32
+from .market import MarketEvent, OpenSeaMarket
+
+__all__ = ["OpenSeaAPI", "MAX_EVENTS_PER_PAGE"]
+
+MAX_EVENTS_PER_PAGE = 50  # the real API's page cap
+
+
+@dataclass
+class OpenSeaAPI:
+    """Paginated read API over one market instance."""
+
+    market: OpenSeaMarket
+    calls_served: int = 0
+
+    def asset_events(
+        self,
+        token_id: Hash32 | str | None = None,
+        event_type: str | None = None,
+        cursor: int = 0,
+        limit: int = MAX_EVENTS_PER_PAGE,
+    ) -> dict[str, object]:
+        """Events feed, newest first, with integer ``next`` cursors.
+
+        Filter by token and/or event type; ``cursor`` is the offset the
+        previous page returned in its ``next`` field (None when done).
+        """
+        self.calls_served += 1
+        if limit < 1 or limit > MAX_EVENTS_PER_PAGE:
+            raise ValueError(f"limit must be within 1..{MAX_EVENTS_PER_PAGE}")
+        if cursor < 0:
+            raise ValueError("cursor must be non-negative")
+        if token_id is not None:
+            key = token_id.hex if isinstance(token_id, Hash32) else token_id
+            events = self.market.events_of(key)
+        else:
+            events = list(self.market.events)
+        if event_type is not None:
+            events = [event for event in events if event.event_type == event_type]
+        events = sorted(events, key=lambda e: e.timestamp, reverse=True)
+        window = events[cursor : cursor + limit]
+        next_cursor = cursor + limit if cursor + limit < len(events) else None
+        return {
+            "asset_events": [event.as_api_dict() for event in window],
+            "next": next_cursor,
+        }

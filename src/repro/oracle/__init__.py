@@ -1,0 +1,5 @@
+"""ETH-USD price feed substrate (synthetic Yahoo-Finance substitute)."""
+
+from .ethusd import DEFAULT_ANCHORS, EthUsdOracle, day_of, timestamp_of_day
+
+__all__ = ["DEFAULT_ANCHORS", "EthUsdOracle", "day_of", "timestamp_of_day"]

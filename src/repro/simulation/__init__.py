@@ -1,0 +1,29 @@
+"""Calibrated synthetic ENS ecosystem generator."""
+
+from .agents import (
+    DomainScript,
+    DropcatcherAgent,
+    GroundTruth,
+    SenderProfile,
+    TrueCatch,
+)
+from .calibration import PAPER, PaperTargets, ratio_close
+from .config import ScenarioConfig
+from .names import GeneratedName, NameGenerator
+from .scenario import ScenarioWorld, run_scenario
+
+__all__ = [
+    "DomainScript",
+    "DropcatcherAgent",
+    "GeneratedName",
+    "GroundTruth",
+    "NameGenerator",
+    "PAPER",
+    "PaperTargets",
+    "ScenarioConfig",
+    "ScenarioWorld",
+    "SenderProfile",
+    "TrueCatch",
+    "ratio_close",
+    "run_scenario",
+]

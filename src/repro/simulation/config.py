@@ -1,0 +1,102 @@
+"""Scenario configuration: every knob of the synthetic ENS ecosystem.
+
+Defaults are calibrated so the *shapes* of the paper's figures emerge
+at bench scale (a few thousand domains instead of 3.1M); see
+:mod:`repro.simulation.calibration` for the paper-target constants and
+the scaling rationale recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All parameters of one ecosystem run (deterministic given seed)."""
+
+    seed: int = 7
+    n_domains: int = 2000
+
+    # timeline (the paper's observation window, Figure 2)
+    start: date = date(2020, 2, 1)
+    end: date = date(2023, 9, 30)
+
+    # registration behaviour
+    migration_fraction: float = 0.14       # legacy names expiring May 2020
+    migration_deadline: date = date(2020, 5, 4)
+    multi_year_fraction: float = 0.12      # registrations longer than 1 year
+    renewal_continue_prob: float = 0.40    # renew (again) at each expiry
+
+    # income / sender behaviour
+    mean_senders_per_domain: float = 6.5
+    mean_txs_per_sender: float = 3.2
+    ens_sender_fraction: float = 0.75      # resolve via ENS vs paste address
+    income_log_mu: float = 5.2             # lognormal USD per tx (median ~180)
+    income_log_sigma: float = 1.6
+    sender_span_factor_low: float = 0.6    # activity span vs ownership length
+    sender_span_factor_high: float = 1.9
+
+    # custodial senders (paper: 558 custodial + 25 Coinbase labels)
+    n_custodial_exchanges: int = 558
+    n_coinbase_addresses: int = 25
+    custodial_sender_fraction: float = 0.06
+    coinbase_sender_fraction: float = 0.05
+
+    # dropcatchers
+    n_dropcatchers: int = 48
+    whale_fraction: float = 0.10           # bulk-catching speculators
+    catch_income_weight: float = 0.65      # score weight on log income
+    catch_lexical_weight: float = 1.0
+    catch_threshold: float = 7.6
+    catch_noise_sigma: float = 1.1
+    premium_buy_fraction: float = 0.067    # catches paid at premium (16,092/241K)
+    same_day_fraction: float = 0.083       # catches on premium-end day (20,014/241K)
+    early_fraction: float = 0.235          # within ~9 days after premium (56,792/241K)
+    late_tail_mean_days: float = 160.0     # exponential tail of Figure 3
+
+    # misdirection (post-catch behaviour of ENS-resolving senders)
+    misdirect_continue_prob: float = 0.38  # sender pays the re-registered name
+    misdirect_max_txs: int = 3
+
+    # coincidental-payment noise: traffic that *looks* like misdirection.
+    # Custodial addresses serve many users, so the same exchange address
+    # pays unrelated wallets all the time (the reason the paper filters
+    # them); retail senders occasionally pay a dropcatcher for unrelated
+    # reasons (the paper's stated false-positive risk, §6 Limitations).
+    custodial_noise_mean_txs: float = 3.0  # per exchange address
+    retail_noise_prob: float = 0.03        # per retail sender
+
+    # re-sale market (§4.2: 8% listed, ~61% of listings sold)
+    list_prob: float = 0.08
+    sale_prob: float = 0.61
+    resale_markup_low: float = 1.5
+    resale_markup_high: float = 12.0
+
+    # subdomains (paper: 846,752 subdomains alongside 3.1M names ≈ 0.27/domain)
+    subdomain_prob: float = 0.12           # owners who create subdomains
+    max_subdomains_per_domain: int = 5
+
+    # subgraph endpoint gap (paper: 34K of 3.1M ≈ 0.1% unrecoverable)
+    indexing_gap_rate: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.n_domains <= 0:
+            raise ValueError("n_domains must be positive")
+        if self.end <= self.start:
+            raise ValueError("scenario end must be after start")
+        for name in (
+            "migration_fraction", "multi_year_fraction", "renewal_continue_prob",
+            "ens_sender_fraction", "custodial_sender_fraction",
+            "coinbase_sender_fraction", "whale_fraction", "premium_buy_fraction",
+            "same_day_fraction", "early_fraction", "misdirect_continue_prob",
+            "list_prob", "sale_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.premium_buy_fraction + self.same_day_fraction + self.early_fraction > 1:
+            raise ValueError("catch-timing fractions must sum to at most 1")

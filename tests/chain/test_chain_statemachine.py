@@ -1,0 +1,114 @@
+"""Property-based ledger testing: a balance model vs the real chain."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.chain import (
+    Address,
+    Blockchain,
+    CallContext,
+    Contract,
+    InsufficientFunds,
+    Revert,
+)
+
+ACTORS = tuple(Address.derive(f"csm:{i}") for i in range(4))
+
+
+class _Sink(Contract):
+    """Accepts deposits; forwards a share; optionally reverts late."""
+
+    def take(self, ctx: CallContext, forward_to: Address, fail: bool) -> None:
+        if ctx.value >= 2:
+            self.pay(forward_to, ctx.value // 2)
+        self.require(not fail, "asked to fail")
+
+
+class ChainMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.chain = Blockchain()
+        self.sink = _Sink(Address.derive("csm:sink"), self.chain)
+        self.chain.deploy(self.sink)
+        self.balances: dict[Address, int] = {}
+        self.minted = 0
+        self.burned_fees = 0
+
+    def _model_balance(self, address: Address) -> int:
+        return self.balances.get(address, 0)
+
+    @rule(actor=st.sampled_from(ACTORS), amount=st.integers(1, 10**18))
+    def fund(self, actor: Address, amount: int) -> None:
+        self.chain.fund(actor, amount)
+        self.balances[actor] = self._model_balance(actor) + amount
+        self.minted += amount
+
+    @rule(
+        sender=st.sampled_from(ACTORS),
+        recipient=st.sampled_from(ACTORS),
+        value=st.integers(0, 10**18),
+        fee=st.integers(0, 10**6),
+    )
+    def transfer(self, sender, recipient, value, fee) -> None:
+        affordable = self._model_balance(sender) >= value + fee
+        if not affordable:
+            try:
+                self.chain.transfer(sender, recipient, value, fee=fee)
+            except InsufficientFunds:
+                return
+            raise AssertionError("transfer should have been rejected")
+        receipt = self.chain.transfer(sender, recipient, value, fee=fee)
+        assert receipt.success
+        self.balances[sender] = self._model_balance(sender) - value - fee
+        self.balances[recipient] = self._model_balance(recipient) + value
+        self.burned_fees += fee
+
+    @rule(
+        sender=st.sampled_from(ACTORS),
+        beneficiary=st.sampled_from(ACTORS),
+        value=st.integers(0, 10**18),
+        fail=st.booleans(),
+    )
+    def contract_call(self, sender, beneficiary, value, fail) -> None:
+        if self._model_balance(sender) < value:
+            return  # chain would raise InsufficientFunds; covered above
+        receipt = self.chain.call(
+            sender, self.sink.address, "take",
+            value=value, forward_to=beneficiary, fail=fail,
+        )
+        assert receipt.success == (not fail)
+        if fail:
+            return  # atomic revert: nothing changes in the model
+        self.balances[sender] = self._model_balance(sender) - value
+        forwarded = value // 2 if value >= 2 else 0
+        self.balances[beneficiary] = self._model_balance(beneficiary) + forwarded
+        sink = self.sink.address
+        self.balances[sink] = self._model_balance(sink) + value - forwarded
+
+    @invariant()
+    def balances_match_model(self) -> None:
+        if not hasattr(self, "chain"):
+            return
+        for address in (*ACTORS, self.sink.address):
+            assert self.chain.balance_of(address) == self._model_balance(address)
+
+    @invariant()
+    def supply_conserved(self) -> None:
+        if not hasattr(self, "chain"):
+            return
+        total = sum(account.balance for account in self.chain.state)
+        assert total == self.minted - self.burned_fees
+
+
+ChainMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestChainStateMachine = ChainMachine.TestCase

@@ -1,0 +1,99 @@
+"""Value-conservation properties of the ledger under random activity."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import Address, Blockchain, InsufficientFunds, ether
+
+
+def _total_supply(chain: Blockchain) -> int:
+    return sum(account.balance for account in chain.state)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_transfers_conserve_supply_minus_fees(seed: int) -> None:
+    rng = random.Random(seed)
+    chain = Blockchain()
+    actors = [Address.derive(f"cons:{seed}:{i}") for i in range(4)]
+    minted = 0
+    for actor in actors:
+        amount = ether(rng.randint(1, 50))
+        chain.fund(actor, amount)
+        minted += amount
+
+    burned_fees = 0
+    for _ in range(rng.randint(5, 30)):
+        sender, recipient = rng.sample(actors, 2)
+        value = rng.randint(0, ether(5))
+        fee = rng.randint(0, ether("0.01"))
+        try:
+            receipt = chain.transfer(sender, recipient, value, fee=fee)
+        except InsufficientFunds:
+            continue
+        assert receipt.success
+        burned_fees += fee
+
+    assert _total_supply(chain) == minted - burned_fees
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_reverted_calls_only_burn_fees(seed: int) -> None:
+    from repro.chain import CallContext, Contract, Revert
+
+    class _AlwaysReverts(Contract):
+        def boom(self, ctx: CallContext) -> None:
+            raise Revert("no")
+
+    rng = random.Random(seed)
+    chain = Blockchain()
+    contract = _AlwaysReverts(Address.derive(f"rev:{seed}"), chain)
+    chain.deploy(contract)
+    actor = Address.derive(f"rev-actor:{seed}")
+    chain.fund(actor, ether(100))
+
+    total_fees = 0
+    for _ in range(rng.randint(1, 10)):
+        value = rng.randint(0, ether(2))
+        fee = rng.randint(0, ether("0.001"))
+        receipt = chain.call(actor, contract.address, "boom", value=value, fee=fee)
+        assert not receipt.success
+        total_fees += fee
+
+    # value came back, only fees left the actor
+    assert chain.balance_of(actor) == ether(100) - total_fees
+    assert chain.balance_of(contract.address) == 0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_registration_payments_flow_to_controller(seed: int) -> None:
+    """End-to-end conservation through contract execution + refunds."""
+    from repro.chain import SECONDS_PER_YEAR
+    from repro.ens import ENSDeployment
+    from repro.oracle import EthUsdOracle
+
+    rng = random.Random(seed)
+    chain = Blockchain()
+    oracle = EthUsdOracle(
+        anchors=(("2019-12-01", 2000.0),), noise_amplitude=0.0
+    )
+    ens = ENSDeployment.deploy(chain, eth_usd=oracle)
+    actor = Address.derive(f"pay:{seed}")
+    chain.fund(actor, ether(1000))
+
+    price = ens.rent_price("conserve", SECONDS_PER_YEAR)
+    overpay = rng.randint(0, ether(3))
+    before_controller = chain.balance_of(ens.controller.address)
+    receipt = ens.register(
+        actor, "conserve", SECONDS_PER_YEAR, value=price + overpay
+    )
+    assert receipt.success, receipt.error
+    # exact price retained by the controller, overpayment refunded
+    assert chain.balance_of(ens.controller.address) == before_controller + price
+    assert chain.balance_of(actor) == ether(1000) - price

@@ -1,0 +1,85 @@
+"""Value types: addresses, hashes, wei conversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import WEI_PER_ETHER, ZERO_ADDRESS, Address, Hash32, ether, from_wei
+
+
+class TestAddress:
+    def test_requires_twenty_bytes(self) -> None:
+        with pytest.raises(ValueError):
+            Address(b"\x01" * 19)
+        with pytest.raises(ValueError):
+            Address(b"\x01" * 21)
+
+    def test_hex_round_trip(self) -> None:
+        address = Address.derive("round-trip")
+        assert Address.from_hex(address.hex) == address
+
+    def test_from_hex_accepts_bare_digits(self) -> None:
+        bare = "ab" * 20
+        assert Address.from_hex(bare) == Address.from_hex("0x" + bare)
+
+    def test_from_hex_rejects_wrong_length(self) -> None:
+        with pytest.raises(ValueError):
+            Address.from_hex("0x1234")
+
+    def test_derive_is_deterministic_and_distinct(self) -> None:
+        assert Address.derive("alice") == Address.derive("alice")
+        assert Address.derive("alice") != Address.derive("bob")
+
+    def test_checksum_known_vector(self) -> None:
+        # EIP-55 reference vector.
+        plain = "0x5aaeb6053f3e94c9b9a09f33669435e7ef1beaed"
+        assert Address.from_hex(plain).checksum == (
+            "0x5aAeb6053F3E94C9b9A09f33669435E7Ef1BeAed"
+        )
+
+    def test_ordering_and_hashing(self) -> None:
+        a = Address(b"\x01" + b"\x00" * 19)
+        b = Address(b"\x02" + b"\x00" * 19)
+        assert a < b
+        assert len({a, b, Address(a.raw)}) == 2
+
+    def test_zero_address(self) -> None:
+        assert ZERO_ADDRESS.hex == "0x" + "00" * 20
+
+
+class TestHash32:
+    def test_requires_thirty_two_bytes(self) -> None:
+        with pytest.raises(ValueError):
+            Hash32(b"\x00" * 31)
+
+    def test_of_hashes_with_keccak(self) -> None:
+        assert Hash32.of(b"eth").hex == (
+            "0x4f5b812789fc606be1b3b16908db13fc7a9adf7ca72641f84d75b47069d3d7f0"
+        )
+
+    def test_to_int_big_endian(self) -> None:
+        raw = b"\x00" * 31 + b"\x2a"
+        assert Hash32(raw).to_int() == 42
+
+    def test_hex_round_trip(self) -> None:
+        value = Hash32.of(b"anything")
+        assert Hash32.from_hex(value.hex) == value
+
+
+class TestEther:
+    def test_int_ether(self) -> None:
+        assert ether(3) == 3 * WEI_PER_ETHER
+
+    def test_string_ether_is_exact(self) -> None:
+        assert ether("0.000000000000000001") == 1
+        assert ether("1.5") == WEI_PER_ETHER + WEI_PER_ETHER // 2
+
+    def test_float_ether_rounds(self) -> None:
+        assert ether(0.5) == WEI_PER_ETHER // 2
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_int(self, amount: int) -> None:
+        assert from_wei(ether(amount)) == pytest.approx(amount)

@@ -1,0 +1,51 @@
+"""Shared fixtures: a fresh chain, a deployed ENS instance, funded actors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address, Blockchain, ether
+from repro.ens import ENSDeployment
+from repro.oracle import EthUsdOracle
+
+
+@pytest.fixture()
+def chain() -> Blockchain:
+    """A fresh chain starting at the 2020-01-01 genesis."""
+    return Blockchain()
+
+
+@pytest.fixture()
+def flat_oracle() -> EthUsdOracle:
+    """An oracle pinned near a flat price (no noise) for exact assertions."""
+    return EthUsdOracle(
+        anchors=(("2019-12-01", 2000.0), ("2025-01-01", 2000.0)),
+        noise_amplitude=0.0,
+    )
+
+
+@pytest.fixture()
+def ens(chain: Blockchain, flat_oracle: EthUsdOracle) -> ENSDeployment:
+    """A deployed ENS suite priced against the flat oracle."""
+    return ENSDeployment.deploy(chain, eth_usd=flat_oracle)
+
+
+@pytest.fixture()
+def alice(chain: Blockchain) -> Address:
+    address = Address.derive("test:alice")
+    chain.fund(address, ether(1_000_000))
+    return address
+
+
+@pytest.fixture()
+def bob(chain: Blockchain) -> Address:
+    address = Address.derive("test:bob")
+    chain.fund(address, ether(1_000_000))
+    return address
+
+
+@pytest.fixture()
+def carol(chain: Blockchain) -> Address:
+    address = Address.derive("test:carol")
+    chain.fund(address, ether(1_000_000))
+    return address

@@ -1,0 +1,100 @@
+"""Hand-built dataset fixtures for precise analysis tests."""
+
+from __future__ import annotations
+
+from repro.datasets import (
+    DomainRecord,
+    ENSDataset,
+    MarketEventRecord,
+    RegistrationRecord,
+    TxRecord,
+)
+
+DAY = 86_400
+
+
+def make_registration(
+    registrant: str,
+    start_day: int,
+    end_day: int,
+    ordinal: int = 0,
+    labelhash: str = "0xlh",
+    base_cost: int = 10**15,
+    premium: int = 0,
+) -> RegistrationRecord:
+    return RegistrationRecord(
+        registration_id=f"{labelhash}-{ordinal}",
+        registrant=registrant,
+        registration_date=start_day * DAY,
+        expiry_date=end_day * DAY,
+        cost_wei=base_cost + premium,
+        base_cost_wei=base_cost,
+        premium_wei=premium,
+    )
+
+
+def make_domain(
+    label: str,
+    registrations: list[RegistrationRecord],
+    domain_id: str | None = None,
+) -> DomainRecord:
+    return DomainRecord(
+        domain_id=domain_id or f"0xdomain-{label}",
+        name=f"{label}.eth",
+        label_name=label,
+        labelhash=f"0xlh-{label}",
+        created_at=registrations[0].registration_date,
+        owner=registrations[-1].registrant,
+        resolved_address=registrations[-1].registrant,
+        subdomain_count=0,
+        registrations=registrations,
+    )
+
+
+def make_tx(
+    sender: str,
+    receiver: str,
+    day: int,
+    value_wei: int = 10**18,
+    tx_hash: str | None = None,
+    is_error: bool = False,
+) -> TxRecord:
+    return TxRecord(
+        tx_hash=tx_hash or f"0xtx-{sender}-{receiver}-{day}-{value_wei}",
+        block_number=day,
+        timestamp=day * DAY,
+        from_address=sender,
+        to_address=receiver,
+        value_wei=value_wei,
+        is_error=is_error,
+    )
+
+
+def make_sale_event(
+    label: str, event_type: str, day: int, maker: str,
+    taker: str | None = None, price_wei: int = 10**18,
+) -> MarketEventRecord:
+    return MarketEventRecord(
+        token_id=f"0xlh-{label}",
+        event_type=event_type,
+        timestamp=day * DAY,
+        maker=maker,
+        taker=taker,
+        price_wei=price_wei,
+    )
+
+
+def make_dataset(
+    domains: list[DomainRecord],
+    txs: list[TxRecord] | None = None,
+    market: list[MarketEventRecord] | None = None,
+    crawl_day: int = 2000,
+) -> ENSDataset:
+    dataset = ENSDataset(crawl_timestamp=crawl_day * DAY)
+    for domain in domains:
+        dataset.add_domain(domain)
+    if txs:
+        dataset.add_transactions(txs)
+    if market:
+        dataset.add_market_events(market)
+    return dataset

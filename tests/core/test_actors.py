@@ -1,0 +1,69 @@
+"""Actor-concentration analysis (Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import actor_concentration
+
+from .helpers import make_dataset, make_domain, make_registration
+
+
+def _caught_by(new_owner: str, label: str):
+    return make_domain(label, [
+        make_registration("0xorig-" + label, 100, 465, ordinal=0),
+        make_registration(new_owner, 600, 965, ordinal=1),
+    ])
+
+
+class TestActorConcentration:
+    def test_counts_per_address(self) -> None:
+        dataset = make_dataset([
+            _caught_by("0xwhale", "a"),
+            _caught_by("0xwhale", "b"),
+            _caught_by("0xsmall", "c"),
+        ])
+        actors = actor_concentration(dataset)
+        assert actors.catches_by_address == {"0xwhale": 2, "0xsmall": 1}
+        assert actors.unique_catchers == 2
+        assert actors.addresses_with_multiple_catches == 1
+
+    def test_top_k(self) -> None:
+        dataset = make_dataset(
+            [_caught_by("0xwhale", f"w{i}") for i in range(5)]
+            + [_caught_by("0xmid", f"m{i}") for i in range(3)]
+            + [_caught_by("0xone", "o")]
+        )
+        actors = actor_concentration(dataset)
+        assert actors.top(2) == [("0xwhale", 5), ("0xmid", 3)]
+
+    def test_cdf_monotone_and_complete(self) -> None:
+        dataset = make_dataset(
+            [_caught_by("0xwhale", f"w{i}") for i in range(5)]
+            + [_caught_by("0xone", "o"), _caught_by("0xtwo", "t")]
+        )
+        points = actor_concentration(dataset).cdf_points()
+        counts = [count for count, _ in points]
+        fractions = [fraction for _, fraction in points]
+        assert counts == sorted(counts)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        # 2 of 3 addresses caught exactly once
+        assert points[0] == (1, pytest.approx(2 / 3))
+
+    def test_gini_bounds(self) -> None:
+        equal = make_dataset([
+            _caught_by("0xa", "a"), _caught_by("0xb", "b"),
+        ])
+        skewed = make_dataset(
+            [_caught_by("0xwhale", f"w{i}") for i in range(9)]
+            + [_caught_by("0xsmall", "s")]
+        )
+        assert actor_concentration(equal).gini() == pytest.approx(0.0)
+        assert actor_concentration(skewed).gini() > 0.3
+
+    def test_empty(self) -> None:
+        actors = actor_concentration(make_dataset([]))
+        assert actors.unique_catchers == 0
+        assert actors.cdf_points() == []
+        assert actors.gini() == 0.0

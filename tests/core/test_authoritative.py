@@ -1,0 +1,135 @@
+"""Vendor-log (authoritative) loss quantification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_losses
+from repro.core.authoritative import (
+    assess_conservative_heuristic,
+    authoritative_losses,
+)
+from repro.datasets.schema import ResolutionRecord
+from repro.oracle import EthUsdOracle
+
+from .helpers import DAY, make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+
+
+def _resolution(name, sender, target, day, tx="t"):
+    return ResolutionRecord(
+        name=name, sender=sender, resolved_to=target,
+        timestamp=day * DAY, tx_hash=f"{tx}-{sender}-{day}",
+    )
+
+
+class TestAuthoritativeLosses:
+    def test_consistent_resolutions_are_clean(self) -> None:
+        log = [
+            _resolution("d.eth", "0xc", "0xa1", 200),
+            _resolution("d.eth", "0xc", "0xa1", 300),
+        ]
+        report = authoritative_losses(log)
+        assert report.losses == []
+        assert report.resolutions_examined == 2
+
+    def test_target_switch_is_a_loss(self) -> None:
+        log = [
+            _resolution("d.eth", "0xc", "0xa1", 200),
+            _resolution("d.eth", "0xc", "0xa2", 700),
+        ]
+        report = authoritative_losses(log)
+        assert len(report.losses) == 1
+        loss = report.losses[0]
+        assert loss.intended == "0xa1"
+        assert loss.received_by == "0xa2"
+        assert report.affected_names == 1
+        assert report.unique_senders == 1
+
+    def test_intent_is_per_sender(self) -> None:
+        # a new sender whose FIRST payment hits the catcher has no
+        # prior intent — not a loss (matching the paper's reasoning)
+        log = [
+            _resolution("d.eth", "0xc1", "0xa1", 200),
+            _resolution("d.eth", "0xc2", "0xa2", 700),
+            _resolution("d.eth", "0xc1", "0xa2", 800),
+        ]
+        report = authoritative_losses(log)
+        assert len(report.losses) == 1
+        assert report.losses[0].sender == "0xc1"
+
+    def test_out_of_order_log_is_sorted(self) -> None:
+        log = [
+            _resolution("d.eth", "0xc", "0xa2", 700),
+            _resolution("d.eth", "0xc", "0xa1", 200),
+        ]
+        report = authoritative_losses(log)
+        assert len(report.losses) == 1
+        assert report.losses[0].intended == "0xa1"
+
+    def test_multiple_misdirections_counted(self) -> None:
+        log = [
+            _resolution("d.eth", "0xc", "0xa1", 200),
+            _resolution("d.eth", "0xc", "0xa2", 700, tx="x"),
+            _resolution("d.eth", "0xc", "0xa2", 750, tx="y"),
+        ]
+        assert len(authoritative_losses(log).losses) == 2
+
+    def test_record_round_trip(self) -> None:
+        record = _resolution("d.eth", "0xc", "0xa1", 200)
+        assert ResolutionRecord.from_dict(record.as_dict()) == record
+
+
+class TestHeuristicAssessment:
+    def _conservative(self):
+        domain = make_domain("d", [
+            make_registration("0xa1", 100, 465, ordinal=0),
+            make_registration("0xa2", 600, 965, ordinal=1),
+        ])
+        txs = [
+            make_tx("0xc", "0xa1", 200, tx_hash="h1"),
+            make_tx("0xc", "0xa2", 700, tx_hash="h2"),
+        ]
+        dataset = make_dataset([domain], txs, crawl_day=1000)
+        return detect_losses(dataset, FLAT)
+
+    def test_perfect_overlap(self) -> None:
+        log = [
+            ResolutionRecord("d.eth", "0xc", "0xa1", 200 * DAY, "h1"),
+            ResolutionRecord("d.eth", "0xc", "0xa2", 700 * DAY, "h2"),
+        ]
+        assessment = assess_conservative_heuristic(
+            authoritative_losses(log), self._conservative()
+        )
+        assert assessment.authoritative_txs == 1
+        assert assessment.conservative_txs == 1
+        assert assessment.precision == 1.0
+        assert assessment.coverage == 1.0
+        assert assessment.undercount_factor == 1.0
+
+    def test_undercount_measured(self) -> None:
+        # the vendor log shows two misdirections; on-chain sees one
+        log = [
+            ResolutionRecord("d.eth", "0xc", "0xa1", 200 * DAY, "h1"),
+            ResolutionRecord("d.eth", "0xc", "0xa2", 700 * DAY, "h2"),
+            ResolutionRecord("e.eth", "0xq", "0xw1", 200 * DAY, "g1"),
+            ResolutionRecord("e.eth", "0xq", "0xw2", 700 * DAY, "g2"),
+        ]
+        assessment = assess_conservative_heuristic(
+            authoritative_losses(log), self._conservative()
+        )
+        assert assessment.authoritative_txs == 2
+        assert assessment.conservative_txs == 1
+        assert assessment.undercount_factor == 2.0
+        assert assessment.coverage == 0.5
+
+    def test_empty_everything(self) -> None:
+        empty = authoritative_losses([])
+        dataset = make_dataset([], [], crawl_day=10)
+        assessment = assess_conservative_heuristic(
+            empty, detect_losses(dataset, FLAT)
+        )
+        assert assessment.precision == 1.0
+        assert assessment.coverage == 1.0
+        assert assessment.undercount_factor == 1.0

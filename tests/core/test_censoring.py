@@ -1,0 +1,75 @@
+"""Dataset truncation for censoring analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import find_reregistrations, summarize
+from repro.core.censoring import truncate_dataset
+
+from .helpers import DAY, make_dataset, make_domain, make_registration, make_tx
+
+
+def _world():
+    caught_late = make_domain("late", [
+        make_registration("0xa", 100, 465, ordinal=0),
+        make_registration("0xb", 900, 1265, ordinal=1),   # caught at day 900
+    ])
+    caught_early = make_domain("early", [
+        make_registration("0xc", 100, 465, ordinal=0),
+        make_registration("0xd", 600, 965, ordinal=1),    # caught at day 600
+    ])
+    fresh = make_domain("fresh", [make_registration("0xe", 1100, 1465)])
+    txs = [
+        make_tx("0xs", "0xa", 200),
+        make_tx("0xs", "0xb", 950),
+        make_tx("0xs2", "0xc", 200),
+    ]
+    return make_dataset([caught_late, caught_early, fresh], txs, crawl_day=1500)
+
+
+class TestTruncation:
+    def test_future_cycles_dropped(self) -> None:
+        truncated = truncate_dataset(_world(), 700 * DAY)
+        late = truncated.domain_by_name("late.eth")
+        assert len(late.registrations) == 1
+        assert late.owner == "0xa"
+
+    def test_fully_future_domains_disappear(self) -> None:
+        truncated = truncate_dataset(_world(), 700 * DAY)
+        assert truncated.domain_by_name("fresh.eth") is None
+        assert truncated.domain_count == 2
+
+    def test_transactions_filtered(self) -> None:
+        truncated = truncate_dataset(_world(), 700 * DAY)
+        assert truncated.transaction_count == 2
+        assert all(tx.timestamp <= 700 * DAY for tx in truncated.transactions)
+
+    def test_crawl_timestamp_updated(self) -> None:
+        truncated = truncate_dataset(_world(), 700 * DAY)
+        assert truncated.crawl_timestamp == 700 * DAY
+
+    def test_censoring_hides_late_catches(self) -> None:
+        full = _world()
+        truncated = truncate_dataset(full, 700 * DAY)
+        assert len(find_reregistrations(full)) == 2
+        assert len(find_reregistrations(truncated)) == 1
+        # the late-caught domain now counts as expired-not-reregistered
+        summary = summarize(truncated)
+        assert summary.reregistered_domains == 1
+        assert summary.expired_domains == 2
+
+    def test_truncation_to_crawl_time_is_lossless(self) -> None:
+        full = _world()
+        same = truncate_dataset(full, full.crawl_timestamp)
+        assert same.domain_count == full.domain_count
+        assert same.transaction_count == full.transaction_count
+        assert summarize(same) == summarize(full)
+
+    def test_future_cutoff_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            truncate_dataset(_world(), 2000 * DAY)
+
+    def test_result_validates(self) -> None:
+        truncated = truncate_dataset(_world(), 700 * DAY)
+        truncated.validate()

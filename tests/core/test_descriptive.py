@@ -1,0 +1,69 @@
+"""Descriptive dataset overview."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptive import describe_dataset
+
+from .helpers import make_dataset, make_domain, make_registration, make_tx
+
+
+def _world():
+    short = make_domain("abc", [make_registration("0xa", 100, 465)])
+    long_lived = make_domain("longname", [
+        make_registration("0xb", 100, 100 + 2 * 365),   # multi-year
+    ])
+    caught = make_domain("mid", [
+        make_registration("0xa", 100, 465, ordinal=0),
+        make_registration("0xc", 600, 965, ordinal=1),
+    ])
+    unknown = make_domain("dark", [make_registration("0xd", 100, 465)])
+    unknown.label_name = None
+    unknown.name = None
+    short.subdomain_count = 2
+    txs = [
+        make_tx("0xs", "0xa", 200),
+        make_tx("0xs", "0xa", 210, is_error=True),
+    ]
+    dataset = make_dataset([short, long_lived, caught, unknown], txs)
+    dataset.custodial_addresses = {"0xex1", "0xex2"}
+    dataset.coinbase_addresses = {"0xcb"}
+    return dataset
+
+
+class TestDescribe:
+    def test_counts(self) -> None:
+        overview = describe_dataset(_world())
+        assert overview.domains == 4
+        assert overview.subdomains == 2
+        assert overview.transactions == 2
+        assert overview.failed_transactions == 1
+        assert overview.registration_cycles == 5
+        assert overview.unique_registrants == 4  # 0xa, 0xb, 0xc, 0xd
+
+    def test_label_coverage(self) -> None:
+        overview = describe_dataset(_world())
+        assert overview.domains_with_known_label == 3
+        assert overview.label_coverage == pytest.approx(0.75)
+
+    def test_renewed_cycles(self) -> None:
+        overview = describe_dataset(_world())
+        assert overview.renewed_cycles == 1  # only the 2-year cycle
+
+    def test_length_stats(self) -> None:
+        overview = describe_dataset(_world())
+        assert overview.label_length_histogram == {3: 2, 8: 1}
+        assert overview.median_label_length == 3
+
+    def test_lines_render(self) -> None:
+        lines = describe_dataset(_world()).lines()
+        assert any("subdomains" in line for line in lines)
+        assert any("custodial" in line for line in lines)
+
+    def test_empty_dataset(self) -> None:
+        overview = describe_dataset(make_dataset([]))
+        assert overview.domains == 0
+        assert overview.label_coverage == 1.0
+        assert overview.mean_registration_days == 0.0
+        assert overview.lines()

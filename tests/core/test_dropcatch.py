@@ -1,0 +1,124 @@
+"""Dropcatch detection on hand-built registration histories."""
+
+from __future__ import annotations
+
+from repro.core import (
+    expired_domain_ids,
+    find_reregistrations,
+    reregistered_domain_ids,
+    summarize,
+)
+
+from .helpers import DAY, make_dataset, make_domain, make_registration
+
+
+def _single_owner_live():
+    return make_domain("live", [make_registration("0xa", 100, 3000)])
+
+
+def _single_owner_expired():
+    return make_domain("lapsed", [make_registration("0xa", 100, 500)])
+
+
+def _dropcaught():
+    return make_domain("caught", [
+        make_registration("0xa", 100, 465, ordinal=0),
+        make_registration("0xb", 600, 965, ordinal=1),
+    ])
+
+
+def _owner_recovered():
+    # same registrant re-registered after expiry: NOT a dropcatch
+    return make_domain("recovered", [
+        make_registration("0xa", 100, 465, ordinal=0),
+        make_registration("0xa", 600, 965, ordinal=1),
+    ])
+
+
+def _double_caught():
+    return make_domain("hot", [
+        make_registration("0xa", 100, 465, ordinal=0),
+        make_registration("0xb", 600, 965, ordinal=1),
+        make_registration("0xc", 1100, 1465, ordinal=2),
+    ])
+
+
+class TestFindReRegistrations:
+    def test_live_domain_has_no_events(self) -> None:
+        dataset = make_dataset([_single_owner_live()])
+        assert find_reregistrations(dataset) == []
+
+    def test_expired_only_has_no_events(self) -> None:
+        dataset = make_dataset([_single_owner_expired()])
+        assert find_reregistrations(dataset) == []
+
+    def test_dropcatch_detected(self) -> None:
+        dataset = make_dataset([_dropcaught()])
+        events = find_reregistrations(dataset)
+        assert len(events) == 1
+        event = events[0]
+        assert event.previous_owner == "0xa"
+        assert event.new_owner == "0xb"
+        assert event.delay_days == 600 - 465
+
+    def test_owner_recovery_not_a_dropcatch(self) -> None:
+        dataset = make_dataset([_owner_recovered()])
+        assert find_reregistrations(dataset) == []
+
+    def test_multiple_cycles_yield_multiple_events(self) -> None:
+        dataset = make_dataset([_double_caught()])
+        events = find_reregistrations(dataset)
+        assert [(e.previous_owner, e.new_owner) for e in events] == [
+            ("0xa", "0xb"), ("0xb", "0xc"),
+        ]
+
+    def test_premium_flag_from_registration(self) -> None:
+        domain = make_domain("prem", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xb", 570, 935, ordinal=1, premium=10**17),
+        ])
+        events = find_reregistrations(make_dataset([domain]))
+        assert events[0].paid_premium
+
+
+class TestExpiredDomainIds:
+    def test_live_not_expired(self) -> None:
+        dataset = make_dataset([_single_owner_live()], crawl_day=2000)
+        assert expired_domain_ids(dataset) == set()
+
+    def test_lapsed_is_expired(self) -> None:
+        dataset = make_dataset([_single_owner_expired()], crawl_day=2000)
+        assert expired_domain_ids(dataset) == {_single_owner_expired().domain_id}
+
+    def test_recaught_counts_as_expired(self) -> None:
+        dataset = make_dataset([_dropcaught()], crawl_day=700)
+        # the second cycle is live at day 700, but an expiry DID happen
+        assert expired_domain_ids(dataset) == {_dropcaught().domain_id}
+
+    def test_explicit_cutoff(self) -> None:
+        dataset = make_dataset([_single_owner_expired()])
+        assert expired_domain_ids(dataset, as_of=400 * DAY) == set()
+        assert expired_domain_ids(dataset, as_of=501 * DAY) != set()
+
+
+class TestSummary:
+    def test_counts(self) -> None:
+        dataset = make_dataset([
+            _single_owner_live(), _single_owner_expired(), _dropcaught(),
+            _owner_recovered(), _double_caught(),
+        ])
+        summary = summarize(dataset)
+        assert summary.total_domains == 5
+        assert summary.reregistered_domains == 2
+        assert summary.reregistration_events == 3
+        assert summary.domains_caught_more_than_twice == 1
+        assert summary.expired_domains == 4  # all but the live one
+
+    def test_rereg_rate(self) -> None:
+        dataset = make_dataset([_single_owner_expired(), _dropcaught()])
+        summary = summarize(dataset)
+        assert summary.rereg_rate_among_expired == 0.5
+
+    def test_reregistered_ids(self) -> None:
+        dataset = make_dataset([_dropcaught(), _owner_recovered()])
+        assert reregistered_domain_ids(dataset) == {_dropcaught().domain_id}

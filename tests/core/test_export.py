@@ -1,0 +1,102 @@
+"""CSV figure export: files, headers, and content consistency."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core.export import export_figures
+from repro.oracle import EthUsdOracle
+from repro.simulation import ScenarioConfig, run_scenario
+
+EXPECTED_FILES = {
+    "fig2_timeline.csv",
+    "fig3_delays.csv",
+    "fig4_rereg_counts.csv",
+    "fig5_actor_cdf.csv",
+    "fig6_income.csv",
+    "fig7_hijackable.csv",
+    "fig8_amounts.csv",
+    "fig9_scatter.csv",
+    "fig10_profit.csv",
+    "survival_cohorts.csv",
+    "table1_features.csv",
+}
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    world = run_scenario(ScenarioConfig(n_domains=300, seed=17))
+    dataset, _ = world.run_crawl()
+    out = tmp_path_factory.mktemp("figures")
+    paths = export_figures(dataset, world.oracle, out)
+    return out, paths, dataset, world
+
+
+def _read(path):
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        return header, list(reader)
+
+
+class TestExport:
+    def test_all_files_written(self, exported) -> None:
+        out, paths, _, _ = exported
+        assert {path.name for path in paths} == EXPECTED_FILES
+        assert {path.name for path in out.iterdir()} == EXPECTED_FILES
+
+    def test_timeline_header_and_rows(self, exported) -> None:
+        out, _, _, _ = exported
+        header, rows = _read(out / "fig2_timeline.csv")
+        assert header == ["month", "registrations", "expirations", "reregistrations"]
+        assert len(rows) >= 12
+        assert rows[0][0].startswith("2020")
+
+    def test_delays_sorted(self, exported) -> None:
+        out, _, _, _ = exported
+        _, rows = _read(out / "fig3_delays.csv")
+        delays = [float(row[0]) for row in rows]
+        assert delays == sorted(delays)
+        assert all(delay >= 90 for delay in delays)
+
+    def test_income_groups_balanced(self, exported) -> None:
+        out, _, _, _ = exported
+        _, rows = _read(out / "fig6_income.csv")
+        groups = {row[0] for row in rows}
+        assert groups == {"reregistered", "control"}
+        rereg = sum(1 for row in rows if row[0] == "reregistered")
+        control = sum(1 for row in rows if row[0] == "control")
+        assert rereg == control
+
+    def test_table1_contains_all_features(self, exported) -> None:
+        out, _, _, _ = exported
+        _, rows = _read(out / "table1_features.csv")
+        features = {row[0] for row in rows}
+        assert "income_usd" in features
+        assert "contains_underscore" in features
+        assert len(rows) == 12
+
+    def test_scatter_kinds(self, exported) -> None:
+        out, _, _, _ = exported
+        _, rows = _read(out / "fig9_scatter.csv")
+        assert all(row[2] in ("coinbase", "noncustodial") for row in rows)
+
+    def test_profit_columns_numeric(self, exported) -> None:
+        out, _, _, _ = exported
+        _, rows = _read(out / "fig10_profit.csv")
+        for row in rows:
+            float(row[0]), float(row[1])
+
+
+class TestCliFigures:
+    def test_figures_command(self, tmp_path, capsys) -> None:
+        from repro.cli import main
+
+        data_dir = tmp_path / "ds"
+        assert main(["simulate", "--domains", "200", "--seed", "9",
+                     "--out", str(data_dir)]) == 0
+        out_dir = tmp_path / "csv"
+        assert main(["figures", str(data_dir), "--out", str(out_dir)]) == 0
+        assert {p.name for p in out_dir.iterdir()} == EXPECTED_FILES

@@ -1,0 +1,91 @@
+"""Hijackable-funds analysis (Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import find_hijackable
+from repro.ens.premium import GRACE_PERIOD_DAYS
+from repro.oracle import EthUsdOracle
+
+from .helpers import make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+
+OWNER, SENDER = "0xowner", "0xsender"
+EXPIRY_DAY = 465
+RELEASE_DAY = EXPIRY_DAY + GRACE_PERIOD_DAYS  # 555
+
+
+def _expired_domain():
+    return make_domain("d", [make_registration(OWNER, 100, EXPIRY_DAY)])
+
+
+class TestHijackableWindows:
+    def test_payment_after_release_is_hijackable(self) -> None:
+        txs = [
+            make_tx(SENDER, OWNER, 200),             # establishes relationship
+            make_tx(SENDER, OWNER, RELEASE_DAY + 10),
+        ]
+        report = find_hijackable(make_dataset([_expired_domain()], txs), FLAT)
+        assert report.domains_with_exposure == 1
+        assert report.total_txs == 1
+        assert report.total_usd == pytest.approx(2000.0)
+
+    def test_payment_during_grace_not_hijackable(self) -> None:
+        # during grace the owner can still renew; an attacker cannot act
+        txs = [
+            make_tx(SENDER, OWNER, 200),
+            make_tx(SENDER, OWNER, EXPIRY_DAY + 30),
+        ]
+        report = find_hijackable(make_dataset([_expired_domain()], txs), FLAT)
+        assert report.total_txs == 0
+
+    def test_payment_during_ownership_not_hijackable(self) -> None:
+        txs = [make_tx(SENDER, OWNER, 200), make_tx(SENDER, OWNER, 300)]
+        report = find_hijackable(make_dataset([_expired_domain()], txs), FLAT)
+        assert report.total_txs == 0
+
+    def test_window_closes_at_reregistration(self) -> None:
+        caught = make_domain("d", [
+            make_registration(OWNER, 100, EXPIRY_DAY, ordinal=0),
+            make_registration("0xnew", RELEASE_DAY + 30, RELEASE_DAY + 395, ordinal=1),
+        ])
+        txs = [
+            make_tx(SENDER, OWNER, 200),
+            make_tx(SENDER, OWNER, RELEASE_DAY + 10),   # inside window
+            make_tx(SENDER, OWNER, RELEASE_DAY + 60),   # after the catch
+        ]
+        report = find_hijackable(make_dataset([caught], txs), FLAT)
+        assert report.total_txs == 1
+
+    def test_requires_prior_relationship_by_default(self) -> None:
+        txs = [make_tx("0xstranger", OWNER, RELEASE_DAY + 10)]
+        strict = find_hijackable(make_dataset([_expired_domain()], txs), FLAT)
+        assert strict.total_txs == 0
+        relaxed = find_hijackable(
+            make_dataset([_expired_domain()], txs), FLAT,
+            require_prior_relationship=False,
+        )
+        assert relaxed.total_txs == 1
+
+    def test_live_domain_has_no_window(self) -> None:
+        live = make_domain("live", [make_registration(OWNER, 100, 5000)])
+        txs = [make_tx(SENDER, OWNER, 200)]
+        report = find_hijackable(make_dataset([live], txs, crawl_day=400), FLAT)
+        assert report.windows == []
+
+    def test_usd_per_domain_distribution(self) -> None:
+        domain_b = make_domain("e", [make_registration("0xo2", 100, EXPIRY_DAY)])
+        txs = [
+            make_tx(SENDER, OWNER, 200),
+            make_tx(SENDER, OWNER, RELEASE_DAY + 5, value_wei=10**18),
+            make_tx("0xs2", "0xo2", 200),
+            make_tx("0xs2", "0xo2", RELEASE_DAY + 5, value_wei=3 * 10**18),
+        ]
+        report = find_hijackable(
+            make_dataset([_expired_domain(), domain_b], txs), FLAT
+        )
+        assert sorted(report.usd_per_domain()) == [
+            pytest.approx(2000.0), pytest.approx(6000.0),
+        ]

@@ -1,0 +1,160 @@
+"""The a1/c/a2 misdirection detector: each predicate in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_losses
+from repro.oracle import EthUsdOracle
+
+from .helpers import make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+
+A1, A2, C = "0xa1", "0xa2", "0xc"
+
+
+def _caught_domain():
+    """a1 held days 100-465; a2 caught at day 600, holds to 965."""
+    return make_domain("d", [
+        make_registration(A1, 100, 465, ordinal=0),
+        make_registration(A2, 600, 965, ordinal=1),
+    ])
+
+
+def _detect(txs, **kwargs):
+    dataset = make_dataset([_caught_domain()], txs, crawl_day=1000)
+    return detect_losses(dataset, FLAT, **kwargs)
+
+
+class TestPositiveDetection:
+    def test_textbook_misdirection(self) -> None:
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A1, 300),
+            make_tx(C, A2, 700),
+        ]
+        report = _detect(txs)
+        assert len(report.flows) == 1
+        flow = report.flows[0]
+        assert (flow.sender, flow.previous_owner, flow.new_owner) == (C, A1, A2)
+        assert flow.txs_to_previous == 2
+        assert flow.tx_count == 1
+        assert report.average_usd_per_tx == pytest.approx(2000.0)
+
+    def test_residual_window_payments_to_a1_allowed(self) -> None:
+        # like profittrailer.eth: c kept paying a1 after expiry, before the
+        # catch, then switched to a2.
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A1, 500),   # after a1's expiry, before the catch
+            make_tx(C, A2, 700),
+        ]
+        assert len(_detect(txs).flows) == 1
+
+    def test_multiple_payments_to_a2(self) -> None:
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 700),
+            make_tx(C, A2, 800),
+        ]
+        report = _detect(txs)
+        assert report.misdirected_tx_count == 2
+        assert report.total_usd == pytest.approx(4000.0)
+
+    def test_multiple_senders_counted_separately(self) -> None:
+        txs = [
+            make_tx(C, A1, 200), make_tx(C, A2, 700),
+            make_tx("0xc2", A1, 210), make_tx("0xc2", A2, 710),
+        ]
+        report = _detect(txs)
+        assert report.unique_senders == 2
+        assert report.affected_domains == 1
+
+
+class TestNegativePredicates:
+    def test_no_prior_relationship(self) -> None:
+        txs = [make_tx(C, A2, 700)]
+        assert _detect(txs).flows == []
+
+    def test_relationship_only_outside_ownership(self) -> None:
+        # c paid a1 only before a1 registered d: not name-driven
+        txs = [make_tx(C, A1, 50), make_tx(C, A2, 700)]
+        assert _detect(txs).flows == []
+        # relaxing the predicate (ablation) admits it
+        relaxed = _detect(txs, require_prior_relationship=False)
+        assert len(relaxed.flows) == 1
+
+    def test_c_returned_to_a1_afterwards(self) -> None:
+        # c clearly knows both parties: not a misdirection
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 700),
+            make_tx(C, A1, 800),
+        ]
+        assert _detect(txs).flows == []
+        relaxed = _detect(txs, enforce_never_again=False)
+        assert len(relaxed.flows) == 1
+
+    def test_c_knew_a2_before_the_catch(self) -> None:
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 400),   # before a2 held d
+            make_tx(C, A2, 700),
+        ]
+        assert _detect(txs).flows == []
+
+    def test_c_paid_a2_after_a2_expiry(self) -> None:
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 700),
+            make_tx(C, A2, 990),   # past a2's expiry at 965
+        ]
+        assert _detect(txs).flows == []
+
+    def test_a1_itself_excluded(self) -> None:
+        txs = [make_tx(A1, A2, 700)]
+        assert _detect(txs).flows == []
+
+    def test_zero_value_ignored(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 700, value_wei=0)]
+        assert _detect(txs).flows == []
+
+
+class TestCustodialFiltering:
+    def _txs(self):
+        return [make_tx(C, A1, 200), make_tx(C, A2, 700)]
+
+    def test_custodial_sender_always_excluded(self) -> None:
+        dataset = make_dataset([_caught_domain()], self._txs(), crawl_day=1000)
+        dataset.custodial_addresses = {C}
+        assert detect_losses(dataset, FLAT).flows == []
+        assert detect_losses(dataset, FLAT, include_coinbase=False).flows == []
+
+    def test_coinbase_included_by_default(self) -> None:
+        dataset = make_dataset([_caught_domain()], self._txs(), crawl_day=1000)
+        dataset.coinbase_addresses = {C}
+        report = detect_losses(dataset, FLAT)
+        assert len(report.flows) == 1
+        assert report.flows[0].sender_is_coinbase
+
+    def test_coinbase_excluded_in_noncustodial_variant(self) -> None:
+        dataset = make_dataset([_caught_domain()], self._txs(), crawl_day=1000)
+        dataset.coinbase_addresses = {C}
+        report = detect_losses(dataset, FLAT, include_coinbase=False)
+        assert report.flows == []
+
+
+class TestReportAggregates:
+    def test_scatter_points(self) -> None:
+        txs = [
+            make_tx(C, A1, 200), make_tx(C, A1, 250), make_tx(C, A2, 700),
+        ]
+        report = _detect(txs)
+        assert report.scatter_points() == [(2, 1, False)]
+
+    def test_empty_report(self) -> None:
+        report = _detect([])
+        assert report.misdirected_tx_count == 0
+        assert report.average_usd_per_tx == 0.0
+        assert report.usd_amounts() == []

@@ -1,0 +1,132 @@
+"""Profit analysis (Figure 10) and re-sale market (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analyze_profit, analyze_resale, detect_losses
+from repro.marketplace import EVENT_LISTING, EVENT_SALE
+from repro.oracle import EthUsdOracle
+
+from .helpers import (
+    make_dataset,
+    make_domain,
+    make_registration,
+    make_sale_event,
+    make_tx,
+)
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+A1, A2, C = "0xa1", "0xa2", "0xc"
+ETH = 10**18
+
+
+def _caught(label: str = "d", cost_eth: int = 1):
+    return make_domain(label, [
+        make_registration(A1, 100, 465, ordinal=0, labelhash=f"lh{label}"),
+        make_registration(
+            A2, 600, 965, ordinal=1, labelhash=f"lh{label}",
+            base_cost=cost_eth * ETH,
+        ),
+    ])
+
+
+class TestProfit:
+    def test_profitable_catch(self) -> None:
+        # cost 1 ETH (2,000 USD); misdirected income 2 x 2 ETH (8,000 USD)
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 700, value_wei=2 * ETH),
+            make_tx(C, A2, 750, value_wei=2 * ETH),
+        ]
+        dataset = make_dataset([_caught()], txs, crawl_day=1000)
+        report = analyze_profit(dataset, FLAT)
+        assert len(report.catches) == 1
+        assert report.catches[0].cost_usd == pytest.approx(2000.0)
+        assert report.catches[0].income_usd == pytest.approx(8000.0)
+        assert report.catches[0].profitable
+        assert report.profitable_fraction == 1.0
+        assert report.average_profit_usd == pytest.approx(6000.0)
+
+    def test_unprofitable_catch(self) -> None:
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 700, value_wei=ETH // 10),
+        ]
+        dataset = make_dataset([_caught(cost_eth=5)], txs, crawl_day=1000)
+        report = analyze_profit(dataset, FLAT)
+        assert report.profitable_fraction == 0.0
+        assert report.average_profit_usd < 0
+
+    def test_catches_without_common_senders_excluded(self) -> None:
+        dataset = make_dataset([_caught()], [], crawl_day=1000)
+        report = analyze_profit(dataset, FLAT)
+        assert report.catches == []
+        assert report.profitable_fraction == 0.0
+
+    def test_losses_reuse(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 700, value_wei=2 * ETH)]
+        dataset = make_dataset([_caught()], txs, crawl_day=1000)
+        losses = detect_losses(dataset, FLAT)
+        report = analyze_profit(dataset, FLAT, losses=losses)
+        assert len(report.catches) == 1
+
+    def test_series_shapes(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 700, value_wei=2 * ETH)]
+        dataset = make_dataset([_caught()], txs, crawl_day=1000)
+        costs, incomes = analyze_profit(dataset, FLAT).cost_and_income_series()
+        assert len(costs) == len(incomes) == 1
+
+
+class TestResale:
+    # make_sale_event and make_domain derive the token id from the same
+    # label, so events join onto _caught("x") automatically.
+
+    def test_listing_and_sale_counted(self) -> None:
+        dataset = make_dataset(
+            [_caught("x")],
+            market=[
+                make_sale_event("x", EVENT_LISTING, 700, maker=A2),
+                make_sale_event("x", EVENT_SALE, 720, maker=A2, taker="0xb",
+                                price_wei=3 * ETH),
+            ],
+            crawl_day=1000,
+        )
+        report = analyze_resale(dataset, FLAT)
+        assert report.reregistered_domains == 1
+        assert report.listed_domains == 1
+        assert report.sold_domains == 1
+        assert report.listed_fraction == 1.0
+        assert report.average_sale_usd == pytest.approx(6000.0)
+
+    def test_old_owner_listing_ignored(self) -> None:
+        dataset = make_dataset(
+            [_caught("x")],
+            market=[make_sale_event("x", EVENT_LISTING, 700, maker=A1)],
+            crawl_day=1000,
+        )
+        assert analyze_resale(dataset, FLAT).listed_domains == 0
+
+    def test_pre_catch_listing_ignored(self) -> None:
+        dataset = make_dataset(
+            [_caught("x")],
+            market=[make_sale_event("x", EVENT_LISTING, 500, maker=A2)],
+            crawl_day=1000,
+        )
+        assert analyze_resale(dataset, FLAT).listed_domains == 0
+
+    def test_sale_implies_listing(self) -> None:
+        dataset = make_dataset(
+            [_caught("x")],
+            market=[make_sale_event("x", EVENT_SALE, 720, maker=A2, taker="0xb")],
+            crawl_day=1000,
+        )
+        report = analyze_resale(dataset, FLAT)
+        assert report.listed_domains == 1
+        assert report.sold_domains == 1
+
+    def test_no_market_events(self) -> None:
+        dataset = make_dataset([_caught("x")], crawl_day=1000)
+        report = analyze_resale(dataset, FLAT)
+        assert report.listed_fraction == 0.0
+        assert report.sold_of_listed == 0.0

@@ -1,0 +1,72 @@
+"""Robustness sweep mechanics (tiny worlds; stability itself is a bench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.robustness import HEADLINE_METRICS, MetricSummary, run_sweep
+from repro.simulation import ScenarioConfig
+
+
+class TestMetricSummary:
+    def test_statistics(self) -> None:
+        summary = MetricSummary(name="m", values=(1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_single_value_std_zero(self) -> None:
+        assert MetricSummary(name="m", values=(5.0,)).std == 0.0
+
+    def test_within(self) -> None:
+        summary = MetricSummary(name="m", values=(0.2, 0.3))
+        assert summary.within(0.1, 0.4)
+        assert not summary.within(0.25, 0.4)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        config = ScenarioConfig(n_domains=150)
+        return run_sweep(config, seeds=(1, 2))
+
+    def test_one_report_per_seed(self, sweep) -> None:
+        assert sweep.seeds == (1, 2)
+        assert len(sweep.reports) == 2
+
+    def test_all_headline_metrics_present(self, sweep) -> None:
+        assert set(sweep.metrics) == set(HEADLINE_METRICS)
+        for summary in sweep.metrics.values():
+            assert len(summary.values) == 2
+
+    def test_metrics_in_sane_ranges(self, sweep) -> None:
+        assert sweep.metrics["rereg_rate_among_expired"].within(0.0, 1.0)
+        assert sweep.metrics["listed_fraction"].within(0.0, 1.0)
+        assert sweep.metrics["profitable_fraction"].within(0.0, 1.0)
+        assert sweep.metrics["gini_of_catchers"].within(0.0, 1.0)
+
+    def test_seeds_differ(self, sweep) -> None:
+        # different seeds must produce different ecosystems
+        first, second = sweep.reports
+        assert (
+            first.summary.reregistration_events
+            != second.summary.reregistration_events
+            or first.summary.expired_domains != second.summary.expired_domains
+        )
+
+    def test_summary_lines_render(self, sweep) -> None:
+        lines = sweep.summary_lines()
+        assert any("income_ratio" in line for line in lines)
+
+    def test_empty_seeds_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            run_sweep(ScenarioConfig(n_domains=50), seeds=())
+
+    def test_custom_metrics(self) -> None:
+        sweep = run_sweep(
+            ScenarioConfig(n_domains=100),
+            seeds=(3,),
+            metrics={"events": lambda r: float(r.summary.reregistration_events)},
+        )
+        assert set(sweep.metrics) == {"events"}

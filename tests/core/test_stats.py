@@ -1,0 +1,103 @@
+"""Statistical tests cross-checked against scipy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core import two_proportion_z_test, welch_t_test
+
+
+class TestWelchT:
+    def test_matches_scipy_on_fixed_samples(self) -> None:
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = [2.5, 3.5, 4.5, 5.5, 6.5, 7.5]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy_on_random_samples(self, seed: int) -> None:
+        rng = random.Random(seed)
+        a = [rng.gauss(0, 1) for _ in range(rng.randint(3, 40))]
+        b = [rng.gauss(rng.uniform(-1, 1), rng.uniform(0.5, 2)) for _ in range(rng.randint(3, 40))]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-4, abs=1e-9)
+
+    def test_identical_samples_not_significant(self) -> None:
+        sample = [1.0, 2.0, 3.0]
+        result = welch_t_test(sample, list(sample))
+        assert not result.significant
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_constant_different_samples(self) -> None:
+        result = welch_t_test([5.0, 5.0, 5.0], [9.0, 9.0])
+        assert result.significant
+
+    def test_clearly_different_significant(self) -> None:
+        a = [0.0 + 0.1 * i for i in range(30)]
+        b = [100.0 + 0.1 * i for i in range(30)]
+        assert welch_t_test(a, b).significant
+
+    def test_small_samples_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_large_df_normal_approximation(self) -> None:
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(500)]
+        b = [rng.gauss(0.2, 1) for _ in range(500)]
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)
+
+
+class TestTwoProportionZ:
+    def test_known_value(self) -> None:
+        # 45/100 vs 30/100 with pooled SE: z = 0.15 / sqrt(0.375*0.625*0.02)
+        result = two_proportion_z_test(45, 100, 30, 100)
+        assert result.statistic == pytest.approx(2.19089, abs=1e-4)
+        assert result.significant
+
+    def test_symmetry(self) -> None:
+        forward = two_proportion_z_test(45, 100, 30, 100)
+        reverse = two_proportion_z_test(30, 100, 45, 100)
+        assert forward.statistic == pytest.approx(-reverse.statistic)
+        assert forward.p_value == pytest.approx(reverse.p_value)
+
+    def test_equal_proportions_not_significant(self) -> None:
+        result = two_proportion_z_test(10, 100, 10, 100)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_zero_everywhere(self) -> None:
+        result = two_proportion_z_test(0, 50, 0, 50)
+        assert not result.significant
+
+    def test_all_vs_none(self) -> None:
+        assert two_proportion_z_test(50, 50, 0, 50).significant
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            two_proportion_z_test(5, 0, 1, 10)
+        with pytest.raises(ValueError):
+            two_proportion_z_test(11, 10, 1, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_p_value_in_unit_interval(self, sa: int, na: int, sb: int, nb: int) -> None:
+        sa, sb = min(sa, na), min(sb, nb)
+        result = two_proportion_z_test(sa, na, sb, nb)
+        assert 0.0 <= result.p_value <= 1.0

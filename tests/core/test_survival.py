@@ -1,0 +1,119 @@
+"""Kaplan-Meier survival analysis of domain lifetimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.survival import (
+    KaplanMeierCurve,
+    LifetimeObservation,
+    domain_lifetimes,
+    kaplan_meier,
+    survival_by_cohort,
+)
+
+from .helpers import DAY, make_dataset, make_domain, make_registration
+
+
+def _obs(duration: float, lapsed: bool, year: int = 2021) -> LifetimeObservation:
+    return LifetimeObservation(
+        domain_id=f"d{duration}{lapsed}",
+        duration_days=duration,
+        lapsed=lapsed,
+        cohort_year=year,
+    )
+
+
+class TestKaplanMeier:
+    def test_all_events_no_censoring(self) -> None:
+        # textbook: deaths at 1, 2, 3 of 3 subjects → S = 2/3, 1/3, 0
+        curve = kaplan_meier([_obs(1, True), _obs(2, True), _obs(3, True)])
+        assert curve.times_days == (1.0, 2.0, 3.0)
+        assert curve.survival == pytest.approx((2 / 3, 1 / 3, 0.0))
+        assert curve.n_events == 3
+
+    def test_censoring_reduces_risk_set(self) -> None:
+        # death at 1 (3 at risk), censor at 2, death at 3 (1 at risk)
+        curve = kaplan_meier([_obs(1, True), _obs(2, False), _obs(3, True)])
+        assert curve.times_days == (1.0, 3.0)
+        assert curve.survival == pytest.approx((2 / 3, 0.0))
+
+    def test_all_censored_flat_curve(self) -> None:
+        curve = kaplan_meier([_obs(5, False), _obs(9, False)])
+        assert curve.times_days == ()
+        assert curve.survival_at(100) == 1.0
+        assert curve.median_lifetime_days() is None
+
+    def test_survival_at_steps(self) -> None:
+        curve = kaplan_meier([_obs(10, True), _obs(20, True)])
+        assert curve.survival_at(5) == 1.0
+        assert curve.survival_at(10) == pytest.approx(0.5)
+        assert curve.survival_at(15) == pytest.approx(0.5)
+        assert curve.survival_at(25) == 0.0
+
+    def test_median(self) -> None:
+        curve = kaplan_meier(
+            [_obs(10, True), _obs(20, True), _obs(30, True), _obs(40, True)]
+        )
+        assert curve.median_lifetime_days() == 20.0
+
+    def test_ties_handled(self) -> None:
+        curve = kaplan_meier([_obs(10, True), _obs(10, True), _obs(20, False)])
+        assert curve.times_days == (10.0,)
+        assert curve.survival == pytest.approx((1 / 3,))
+
+    def test_empty(self) -> None:
+        curve = kaplan_meier([])
+        assert curve.n_observations == 0
+        assert curve.survival_at(10) == 1.0
+
+    def test_monotone_non_increasing(self) -> None:
+        import random
+
+        rng = random.Random(4)
+        observations = [
+            _obs(rng.uniform(1, 500), rng.random() < 0.7) for _ in range(60)
+        ]
+        curve = kaplan_meier(observations)
+        assert list(curve.survival) == sorted(curve.survival, reverse=True)
+
+
+class TestDomainLifetimes:
+    def test_lapsed_domain(self) -> None:
+        domain = make_domain("d", [make_registration("0xa", 100, 465)])
+        observations = domain_lifetimes(make_dataset([domain], crawl_day=1000))
+        assert len(observations) == 1
+        assert observations[0].lapsed
+        assert observations[0].duration_days == pytest.approx(365.0)
+
+    def test_live_domain_censored(self) -> None:
+        domain = make_domain("d", [make_registration("0xa", 100, 2000)])
+        observations = domain_lifetimes(make_dataset([domain], crawl_day=1000))
+        assert not observations[0].lapsed
+        assert observations[0].duration_days == pytest.approx(900.0)
+
+    def test_same_owner_rereg_extends_tenure(self) -> None:
+        domain = make_domain("d", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xa", 600, 965, ordinal=1),
+        ])
+        observations = domain_lifetimes(make_dataset([domain], crawl_day=2000))
+        assert observations[0].duration_days == pytest.approx(865.0)
+
+    def test_catch_ends_first_tenure(self) -> None:
+        domain = make_domain("d", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xb", 600, 965, ordinal=1),
+        ])
+        observations = domain_lifetimes(make_dataset([domain], crawl_day=2000))
+        assert observations[0].duration_days == pytest.approx(365.0)
+        assert observations[0].lapsed
+
+    def test_cohort_split(self) -> None:
+        early = make_domain("e", [make_registration("0xa", 18300, 18600)])
+        late = make_domain("l", [make_registration("0xb", 19000, 19300)])
+        dataset = make_dataset([early, late], crawl_day=20000)
+        curves = survival_by_cohort(dataset)
+        assert set(curves) == {2020, 2022}
+        for curve in curves.values():
+            assert curve.n_observations == 1

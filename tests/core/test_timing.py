@@ -1,0 +1,112 @@
+"""Timeline and delay-distribution analyses (Figures 2 & 3)."""
+
+from __future__ import annotations
+
+from repro.core import delay_distribution, monthly_timeline
+from repro.core.timing import PREMIUM_END_DAYS
+
+from .helpers import make_dataset, make_domain, make_registration
+
+# Day numbers chosen so months are unambiguous: day 18293 = 2020-02-01.
+_FEB_2020 = 18293
+
+
+class TestMonthlyTimeline:
+    def test_registration_buckets(self) -> None:
+        domain = make_domain("a", [make_registration("0x1", _FEB_2020, _FEB_2020 + 365)])
+        timeline = monthly_timeline(make_dataset([domain], crawl_day=_FEB_2020 + 30))
+        assert timeline.months[0] == "2020-02"
+        assert timeline.registrations[0] == 1
+
+    def test_expiration_only_counted_when_lapsed(self) -> None:
+        live = make_domain("live", [make_registration("0x1", _FEB_2020, _FEB_2020 + 900)])
+        lapsed = make_domain("lapsed", [make_registration("0x2", _FEB_2020, _FEB_2020 + 100)])
+        timeline = monthly_timeline(
+            make_dataset([live, lapsed], crawl_day=_FEB_2020 + 400)
+        )
+        assert sum(timeline.expirations) == 1
+
+    def test_rereg_series_counts_owner_changes_only(self) -> None:
+        caught = make_domain("caught", [
+            make_registration("0x1", _FEB_2020, _FEB_2020 + 100, ordinal=0),
+            make_registration("0x2", _FEB_2020 + 250, _FEB_2020 + 600, ordinal=1),
+        ])
+        recovered = make_domain("recovered", [
+            make_registration("0x3", _FEB_2020, _FEB_2020 + 100, ordinal=0),
+            make_registration("0x3", _FEB_2020 + 250, _FEB_2020 + 600, ordinal=1),
+        ])
+        timeline = monthly_timeline(
+            make_dataset([caught, recovered], crawl_day=_FEB_2020 + 700)
+        )
+        assert sum(timeline.reregistrations) == 1
+        # both second cycles count as registrations though
+        assert sum(timeline.registrations) == 4
+
+    def test_peak(self) -> None:
+        domains = [
+            make_domain(f"d{i}", [
+                make_registration("0x1", _FEB_2020, _FEB_2020 + 100, ordinal=0),
+                make_registration("0x2", _FEB_2020 + 250, _FEB_2020 + 600, ordinal=1),
+            ])
+            for i in range(3)
+        ]
+        timeline = monthly_timeline(make_dataset(domains, crawl_day=_FEB_2020 + 700))
+        assert timeline.peak_monthly_reregistrations() == 3
+
+    def test_empty_dataset(self) -> None:
+        timeline = monthly_timeline(make_dataset([]))
+        assert timeline.months == []
+        assert timeline.peak_monthly_reregistrations() == 0
+
+
+class TestDelayDistribution:
+    def _event_domain(self, delay_days: int, premium: int = 0):
+        expiry = 500
+        return make_domain("d", [
+            make_registration("0x1", 100, expiry, ordinal=0),
+            make_registration(
+                "0x2", expiry + delay_days, expiry + delay_days + 365,
+                ordinal=1, premium=premium,
+            ),
+        ])
+
+    def test_delays_measured_from_expiry(self) -> None:
+        dist = delay_distribution(make_dataset([self._event_domain(150)]))
+        assert dist.delays_days == [150.0]
+
+    def test_premium_end_day_bucket(self) -> None:
+        dist = delay_distribution(
+            make_dataset([self._event_domain(PREMIUM_END_DAYS)])
+        )
+        assert dist.caught_on_premium_end_day == 1
+        assert dist.caught_shortly_after_premium == 1
+        assert dist.caught_at_premium == 0
+
+    def test_at_premium_detected_from_cost(self) -> None:
+        dist = delay_distribution(
+            make_dataset([self._event_domain(100, premium=10**17)])
+        )
+        assert dist.caught_at_premium == 1
+        assert dist.caught_on_premium_end_day == 0
+
+    def test_shortly_after_window(self) -> None:
+        inside = self._event_domain(PREMIUM_END_DAYS + 8)
+        outside = self._event_domain(PREMIUM_END_DAYS + 30)
+        outside = make_domain("e", outside.registrations)
+        dist = delay_distribution(make_dataset([inside, outside]))
+        assert dist.caught_shortly_after_premium == 1
+
+    def test_histogram_bins(self) -> None:
+        domains = [
+            make_domain(f"d{i}", self._event_domain(days).registrations)
+            for i, days in enumerate((112, 115, 250))
+        ]
+        dist = delay_distribution(make_dataset(domains))
+        histogram = dict(dist.histogram(bin_days=30.0))
+        assert histogram[90.0] == 2   # 112 and 115 fall in [90, 120)
+        assert histogram[240.0] == 1
+
+    def test_empty(self) -> None:
+        dist = delay_distribution(make_dataset([]))
+        assert dist.count == 0
+        assert dist.histogram() == []

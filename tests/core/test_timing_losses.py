@@ -1,0 +1,88 @@
+"""The timing-anchored loss heuristic and heuristic triangulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_losses
+from repro.core.timing_losses import detect_losses_by_timing, heuristic_overlap
+from repro.oracle import EthUsdOracle
+
+from .helpers import make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+A1, A2, C = "0xa1", "0xa2", "0xc"
+
+
+def _caught_domain():
+    return make_domain("d", [
+        make_registration(A1, 100, 465, ordinal=0),
+        make_registration(A2, 600, 965, ordinal=1),
+    ])
+
+
+def _detect(txs, **kwargs):
+    dataset = make_dataset([_caught_domain()], txs, crawl_day=1200)
+    return detect_losses_by_timing(dataset, FLAT, **kwargs)
+
+
+class TestTimingDetector:
+    def test_fresh_payment_flagged(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 650)]
+        report = _detect(txs, window_days=120)
+        assert report.misdirected_tx_count == 1
+        assert report.affected_domains == 1
+
+    def test_late_payment_outside_window(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 900)]
+        assert _detect(txs, window_days=120).misdirected_tx_count == 0
+        assert _detect(txs, window_days=365).misdirected_tx_count == 1
+
+    def test_no_prior_relationship_ignored(self) -> None:
+        txs = [make_tx(C, A2, 650)]
+        assert _detect(txs).misdirected_tx_count == 0
+
+    def test_sender_returning_to_a1_still_flagged(self) -> None:
+        # the structural heuristic excludes this; the timing one accepts
+        # it — exactly the disagreement triangulation quantifies
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 650),
+            make_tx(C, A1, 700),
+        ]
+        timing = _detect(txs)
+        assert timing.misdirected_tx_count == 1
+        dataset = make_dataset([_caught_domain()], txs, crawl_day=1200)
+        structural = detect_losses(dataset, FLAT)
+        assert structural.misdirected_tx_count == 0
+
+    def test_custodial_filtered(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 650)]
+        dataset = make_dataset([_caught_domain()], txs, crawl_day=1200)
+        dataset.custodial_addresses = {C}
+        report = detect_losses_by_timing(dataset, FLAT)
+        assert report.misdirected_tx_count == 0
+
+    def test_usd_total(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 650, value_wei=2 * 10**18)]
+        report = _detect(txs)
+        assert report.flows[0].usd_total(FLAT) == pytest.approx(4000.0)
+
+
+class TestOverlap:
+    def test_agreement_on_clean_case(self) -> None:
+        txs = [make_tx(C, A1, 200), make_tx(C, A2, 650)]
+        dataset = make_dataset([_caught_domain()], txs, crawl_day=1200)
+        structural = detect_losses(dataset, FLAT)
+        timing = detect_losses_by_timing(dataset, FLAT)
+        overlap = heuristic_overlap(structural, timing)
+        assert overlap.both == 1
+        assert overlap.jaccard == 1.0
+
+    def test_empty_sets(self) -> None:
+        dataset = make_dataset([_caught_domain()], [], crawl_day=1200)
+        overlap = heuristic_overlap(
+            detect_losses(dataset, FLAT),
+            detect_losses_by_timing(dataset, FLAT),
+        )
+        assert overlap.jaccard == 1.0

@@ -1,0 +1,118 @@
+"""Typosquat screening: the edit distance and the catch matcher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.typosquat import (
+    damerau_levenshtein,
+    find_typosquat_catches,
+    within_edit_distance,
+)
+from repro.oracle import EthUsdOracle
+
+from .helpers import make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+
+
+class TestDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("gold", "gold", 0),
+        ("gold", "golds", 1),       # insertion
+        ("gold", "gol", 1),         # deletion
+        ("gold", "bold", 1),        # substitution
+        ("gold", "glod", 1),        # transposition
+        ("gold", "silver", 5),
+        ("", "abc", 3),
+        ("abc", "", 3),
+        ("ca", "abc", 3),           # restricted DL classic
+    ])
+    def test_known_distances(self, a: str, b: str, expected: int) -> None:
+        assert damerau_levenshtein(a, b) == expected
+
+    @given(st.text(alphabet="abc", max_size=8), st.text(alphabet="abc", max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_metric_properties(self, a: str, b: str) -> None:
+        distance = damerau_levenshtein(a, b)
+        assert distance == damerau_levenshtein(b, a)       # symmetry
+        assert (distance == 0) == (a == b)                 # identity
+        assert distance <= max(len(a), len(b))             # upper bound
+
+    def test_within_bound_prefilter(self) -> None:
+        assert within_edit_distance("gold", "golde", 1)
+        assert not within_edit_distance("gold", "goldies", 1)
+        assert not within_edit_distance("gold", "mint", 1)
+
+
+class TestScreening:
+    def _world(self):
+        # rich target "gold", its typo "golb" gets dropcaught,
+        # plus an unrelated catch "zebra"
+        target = make_domain("gold", [make_registration("0xrich", 100, 3000)])
+        typo = make_domain("golb", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xsquat", 600, 965, ordinal=1),
+        ])
+        unrelated = make_domain("zebra", [
+            make_registration("0xb", 100, 465, ordinal=0),
+            make_registration("0xother", 600, 965, ordinal=1),
+        ])
+        txs = [make_tx("0xs", "0xrich", 200, value_wei=100 * 10**18)]
+        return make_dataset([target, typo, unrelated], txs, crawl_day=1200)
+
+    def test_typo_catch_flagged(self) -> None:
+        report = find_typosquat_catches(self._world(), FLAT)
+        assert report.popular_targets == 1
+        assert report.catches_screened == 2
+        assert len(report.candidates) == 1
+        candidate = report.candidates[0]
+        assert candidate.caught_label == "golb"
+        assert candidate.target_label == "gold"
+        assert candidate.distance == 1
+        assert candidate.new_owner == "0xsquat"
+        assert report.candidate_fraction == pytest.approx(0.5)
+
+    def test_threshold_excludes_poor_targets(self) -> None:
+        report = find_typosquat_catches(
+            self._world(), FLAT, min_target_income_usd=10**9
+        )
+        assert report.popular_targets == 0
+        assert report.candidates == ()
+
+    def test_exact_match_not_a_typo(self) -> None:
+        # a re-registration of the rich name itself is not typosquatting
+        world = self._world()
+        rich_caught = make_domain("gold2", [  # distinct id, same label trick
+            make_registration("0xrich", 100, 465, ordinal=0),
+            make_registration("0xnew", 600, 965, ordinal=1),
+        ])
+        rich_caught.label_name = "gold"
+        rich_caught.name = "gold.eth"
+        world.add_domain(rich_caught)
+        report = find_typosquat_catches(world, FLAT)
+        labels = {c.caught_label for c in report.candidates}
+        assert "gold" not in labels
+
+    def test_distance_two_screening(self) -> None:
+        report = find_typosquat_catches(self._world(), FLAT, max_distance=2)
+        assert len(report.candidates) >= 1
+
+    def test_empty_dataset(self) -> None:
+        report = find_typosquat_catches(make_dataset([]), FLAT)
+        assert report.candidate_fraction == 0.0
+
+    def test_numeric_pairs_excluded_by_default(self) -> None:
+        rich = make_domain("151", [make_registration("0xrich", 100, 3000)])
+        near = make_domain("153", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xsquat", 600, 965, ordinal=1),
+        ])
+        txs = [make_tx("0xs", "0xrich", 200, value_wei=100 * 10**18)]
+        world = make_dataset([rich, near], txs, crawl_day=1200)
+        strict = find_typosquat_catches(world, FLAT)
+        assert strict.candidates == ()
+        loose = find_typosquat_catches(world, FLAT, exclude_numeric_pairs=False)
+        assert len(loose.candidates) == 1

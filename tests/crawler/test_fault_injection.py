@@ -1,0 +1,73 @@
+"""Crawler resilience under injected endpoint failures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.crawler import SubgraphClient, SubgraphCrawlError
+from repro.indexer import ENSSubgraph, SubgraphEndpoint
+
+
+@dataclass
+class _FlakyEndpoint:
+    """Wraps a real endpoint; fails the first N queries of each burst."""
+
+    inner: SubgraphEndpoint
+    failures_per_burst: int
+    queries_seen: int = 0
+    _burst_position: int = field(default=0, repr=False)
+
+    def query(self, text: str) -> dict:
+        self.queries_seen += 1
+        if self._burst_position < self.failures_per_burst:
+            self._burst_position += 1
+            return {"errors": [{"message": "indexer temporarily unavailable"}]}
+        self._burst_position = 0
+        return self.inner.query(text)
+
+    def missing_domain_ids(self):
+        return self.inner.missing_domain_ids()
+
+
+@pytest.fixture()
+def populated_endpoint(chain, ens, alice) -> SubgraphEndpoint:
+    subgraph = ENSSubgraph(ens)
+    for i in range(5):
+        ens.register(alice, f"flaky{i}", 365 * 86_400)
+    return SubgraphEndpoint(subgraph, indexing_gap_rate=0.0)
+
+
+class TestTransientFailures:
+    def test_retries_through_transient_errors(self, populated_endpoint) -> None:
+        flaky = _FlakyEndpoint(populated_endpoint, failures_per_burst=2)
+        client = SubgraphClient(flaky, page_size=2, max_retries=3)
+        records = client.fetch_all_domains()
+        assert len(records) == 5
+        # every page cost the failed attempts plus the success
+        assert flaky.queries_seen > client.pages_fetched
+
+    def test_persistent_failure_raises_with_message(self, populated_endpoint) -> None:
+        flaky = _FlakyEndpoint(populated_endpoint, failures_per_burst=10**9)
+        client = SubgraphClient(flaky, max_retries=3)
+        with pytest.raises(SubgraphCrawlError, match="temporarily unavailable"):
+            client.fetch_all_domains()
+        assert flaky.queries_seen == 3  # exactly the retry budget
+
+    def test_point_lookup_propagates_errors(self, populated_endpoint) -> None:
+        flaky = _FlakyEndpoint(populated_endpoint, failures_per_burst=10**9)
+        client = SubgraphClient(flaky)
+        with pytest.raises(SubgraphCrawlError):
+            client.fetch_domain("0x" + "00" * 32)
+
+    def test_exact_retry_budget_boundary(self, populated_endpoint) -> None:
+        # fails max_retries-1 times then succeeds: must still work
+        flaky = _FlakyEndpoint(populated_endpoint, failures_per_burst=2)
+        client = SubgraphClient(flaky, max_retries=3)
+        assert len(client.fetch_all_domains()) == 5
+        # fails exactly max_retries times per burst: must give up
+        flaky_fatal = _FlakyEndpoint(populated_endpoint, failures_per_burst=3)
+        fatal_client = SubgraphClient(flaky_fatal, max_retries=3)
+        with pytest.raises(SubgraphCrawlError):
+            fatal_client.fetch_all_domains()

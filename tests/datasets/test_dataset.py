@@ -1,0 +1,148 @@
+"""Dataset model: indexes, integrity checks, record round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DatasetIntegrityError,
+    DomainRecord,
+    ENSDataset,
+    MarketEventRecord,
+    RegistrationRecord,
+    TxRecord,
+)
+
+from ..core.helpers import make_dataset, make_domain, make_registration, make_tx
+
+
+class TestIndexes:
+    def test_incoming_sorted_and_filtered(self) -> None:
+        txs = [
+            make_tx("0xa", "0xb", 300),
+            make_tx("0xa", "0xb", 100),
+            make_tx("0xa", "0xb", 200, is_error=True),
+        ]
+        dataset = make_dataset([], txs)
+        incoming = dataset.incoming_of("0xb")
+        assert [tx.timestamp for tx in incoming] == [100 * 86_400, 300 * 86_400]
+
+    def test_outgoing(self) -> None:
+        dataset = make_dataset([], [make_tx("0xa", "0xb", 100)])
+        assert len(dataset.outgoing_of("0xa")) == 1
+        assert dataset.outgoing_of("0xb") == []
+
+    def test_duplicate_hashes_dropped_on_add(self) -> None:
+        tx = make_tx("0xa", "0xb", 100)
+        dataset = ENSDataset()
+        dataset.add_transactions([tx])
+        dataset.add_transactions([tx])
+        assert dataset.transaction_count == 1
+
+    def test_index_rebuilt_after_append(self) -> None:
+        dataset = make_dataset([], [make_tx("0xa", "0xb", 100)])
+        assert len(dataset.incoming_of("0xb")) == 1
+        dataset.add_transactions([make_tx("0xa", "0xb", 200)])
+        assert len(dataset.incoming_of("0xb")) == 2
+
+    def test_wallet_addresses_cover_registrants_and_resolved(self) -> None:
+        domain = make_domain("d", [make_registration("0xreg", 100, 465)])
+        domain.resolved_address = "0xwallet"
+        dataset = make_dataset([domain])
+        assert dataset.wallet_addresses() == {"0xreg", "0xwallet"}
+
+
+class TestValidation:
+    def test_valid_dataset_passes(self) -> None:
+        dataset = make_dataset(
+            [make_domain("d", [make_registration("0xa", 100, 465)])],
+            [make_tx("0xs", "0xa", 200)],
+        )
+        dataset.validate()
+
+    def test_domain_without_registrations_rejected(self) -> None:
+        domain = make_domain("d", [make_registration("0xa", 100, 465)])
+        domain.registrations = []
+        dataset = ENSDataset()
+        dataset.add_domain(domain)
+        with pytest.raises(DatasetIntegrityError, match="no registrations"):
+            dataset.validate()
+
+    def test_out_of_order_registrations_rejected(self) -> None:
+        domain = make_domain("d", [
+            make_registration("0xa", 600, 965, ordinal=0),
+            make_registration("0xb", 100, 465, ordinal=1),
+        ])
+        dataset = ENSDataset()
+        dataset.add_domain(domain)
+        with pytest.raises(DatasetIntegrityError, match="out of order"):
+            dataset.validate()
+
+    def test_inverted_expiry_rejected(self) -> None:
+        bad = RegistrationRecord(
+            registration_id="r", registrant="0xa",
+            registration_date=1000, expiry_date=500,
+            cost_wei=0, base_cost_wei=0, premium_wei=0,
+        )
+        domain = make_domain("d", [make_registration("0xa", 100, 465)])
+        domain.registrations = [bad]
+        dataset = ENSDataset()
+        dataset.add_domain(domain)
+        with pytest.raises(DatasetIntegrityError, match="expires"):
+            dataset.validate()
+
+    def test_cost_split_mismatch_rejected(self) -> None:
+        bad = RegistrationRecord(
+            registration_id="r", registrant="0xa",
+            registration_date=100, expiry_date=500,
+            cost_wei=10, base_cost_wei=3, premium_wei=4,
+        )
+        domain = make_domain("d", [make_registration("0xa", 100, 465)])
+        domain.registrations = [bad]
+        dataset = ENSDataset()
+        dataset.add_domain(domain)
+        with pytest.raises(DatasetIntegrityError, match="cost"):
+            dataset.validate()
+
+    def test_overlapping_label_sets_rejected(self) -> None:
+        dataset = make_dataset(
+            [make_domain("d", [make_registration("0xa", 100, 465)])]
+        )
+        dataset.coinbase_addresses = {"0xboth"}
+        dataset.custodial_addresses = {"0xboth"}
+        with pytest.raises(DatasetIntegrityError, match="both"):
+            dataset.validate()
+
+
+class TestRecordRoundTrips:
+    def test_domain_record(self) -> None:
+        domain = make_domain("d", [make_registration("0xa", 100, 465)])
+        assert DomainRecord.from_dict(domain.as_dict()).as_dict() == domain.as_dict()
+
+    def test_tx_record(self) -> None:
+        tx = make_tx("0xa", "0xb", 100)
+        assert TxRecord.from_dict(tx.as_dict()) == tx
+
+    def test_tx_from_api_row(self) -> None:
+        tx = TxRecord.from_api_row({
+            "hash": "0xh", "blockNumber": "12", "timeStamp": "3400",
+            "from": "0xa", "to": "0xb", "value": "999", "isError": "0",
+        })
+        assert tx.block_number == 12
+        assert tx.value_wei == 999
+        assert not tx.is_error
+
+    def test_market_event_round_trip(self) -> None:
+        event = MarketEventRecord(
+            token_id="0xt", event_type="sale", timestamp=5,
+            maker="0xm", taker=None, price_wei=7,
+        )
+        assert MarketEventRecord.from_dict(event.as_dict()) == event
+
+    def test_unique_registrants_order(self) -> None:
+        domain = make_domain("d", [
+            make_registration("0xa", 100, 465, ordinal=0),
+            make_registration("0xb", 600, 965, ordinal=1),
+            make_registration("0xa", 1100, 1465, ordinal=2),
+        ])
+        assert domain.unique_registrants == ["0xa", "0xb"]

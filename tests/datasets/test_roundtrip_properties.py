@@ -1,0 +1,115 @@
+"""Property-based persistence round trips on generated datasets."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler import load_dataset, save_dataset
+from repro.datasets import (
+    DomainRecord,
+    ENSDataset,
+    MarketEventRecord,
+    RegistrationRecord,
+    TxRecord,
+)
+
+_HEX_CHARS = "0123456789abcdef"
+
+
+def _hex_strategy(length: int):
+    return st.text(alphabet=_HEX_CHARS, min_size=length, max_size=length).map(
+        lambda digits: "0x" + digits
+    )
+
+
+_address = _hex_strategy(40)
+_tx_hash = _hex_strategy(64)
+
+_registration = st.builds(
+    lambda rid, registrant, start, duration, base, premium: RegistrationRecord(
+        registration_id=rid,
+        registrant=registrant,
+        registration_date=start,
+        expiry_date=start + duration,
+        cost_wei=base + premium,
+        base_cost_wei=base,
+        premium_wei=premium,
+    ),
+    rid=st.uuids().map(str),
+    registrant=_address,
+    start=st.integers(min_value=0, max_value=2_000_000_000),
+    duration=st.integers(min_value=1, max_value=10**9),
+    base=st.integers(min_value=0, max_value=10**21),
+    premium=st.integers(min_value=0, max_value=10**24),
+)
+
+
+def _domain_from(parts) -> DomainRecord:
+    index, label, registrations = parts
+    registrations = sorted(registrations, key=lambda r: r.registration_date)
+    return DomainRecord(
+        domain_id=f"0xdomain{index}",
+        name=f"{label}.eth" if label else None,
+        label_name=label or None,
+        labelhash=f"0xlh{index}",
+        created_at=registrations[0].registration_date,
+        owner=registrations[-1].registrant,
+        resolved_address=None,
+        subdomain_count=index % 4,
+        registrations=registrations,
+    )
+
+
+_domain = st.tuples(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(alphabet="abcdefghij", max_size=10),
+    st.lists(_registration, min_size=1, max_size=4),
+).map(_domain_from)
+
+_tx = st.builds(
+    TxRecord,
+    tx_hash=_tx_hash,
+    block_number=st.integers(min_value=0, max_value=10**8),
+    timestamp=st.integers(min_value=0, max_value=2_000_000_000),
+    from_address=_address,
+    to_address=_address,
+    value_wei=st.integers(min_value=0, max_value=10**24),
+    is_error=st.booleans(),
+)
+
+_market_event = st.builds(
+    MarketEventRecord,
+    token_id=_hex_strategy(64),
+    event_type=st.sampled_from(["listing", "sale", "cancel"]),
+    timestamp=st.integers(min_value=0, max_value=2_000_000_000),
+    maker=_address,
+    taker=st.one_of(st.none(), _address),
+    price_wei=st.integers(min_value=1, max_value=10**24),
+)
+
+
+@given(
+    domains=st.lists(_domain, max_size=5, unique_by=lambda d: d.domain_id),
+    txs=st.lists(_tx, max_size=8, unique_by=lambda t: t.tx_hash),
+    events=st.lists(_market_event, max_size=5),
+    crawl_timestamp=st.integers(min_value=0, max_value=2_100_000_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_save_load_round_trip(tmp_path_factory, domains, txs, events, crawl_timestamp):
+    dataset = ENSDataset(crawl_timestamp=crawl_timestamp)
+    for domain in domains:
+        dataset.add_domain(domain)
+    dataset.add_transactions(txs)
+    dataset.add_market_events(events)
+
+    directory = tmp_path_factory.mktemp("roundtrip")
+    save_dataset(dataset, directory)
+    loaded = load_dataset(directory)
+
+    assert loaded.crawl_timestamp == dataset.crawl_timestamp
+    assert loaded.transactions == dataset.transactions
+    assert loaded.market_events == dataset.market_events
+    assert set(loaded.domains) == set(dataset.domains)
+    for domain_id, domain in dataset.domains.items():
+        assert loaded.domains[domain_id].as_dict() == domain.as_dict()

@@ -1,0 +1,65 @@
+"""EIP-137 namehash/labelhash against published vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.errors import InvalidName
+from repro.ens import ETH_NODE, ROOT_NODE, labelhash, namehash
+
+# Vectors straight from EIP-137.
+EIP137_VECTORS = {
+    "": "0x0000000000000000000000000000000000000000000000000000000000000000",
+    "eth": "0x93cdeb708b7545dc668eb9280176169d1c33cfd8ed6f04690a0bcc88a93fc4ae",
+    "foo.eth": "0xde9b09fd7c5f901e23a3f19fecc54828e9c848539801e86591bd9801b019f84f",
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EIP137_VECTORS.items()))
+def test_eip137_vectors(name: str, expected: str) -> None:
+    assert namehash(name).hex == expected
+
+
+def test_eth_node_constant() -> None:
+    assert ETH_NODE == namehash("eth")
+    assert ROOT_NODE == namehash("")
+
+
+def test_namehash_case_insensitive() -> None:
+    assert namehash("GOLD.eth") == namehash("gold.eth")
+
+
+def test_labelhash_is_keccak_of_label() -> None:
+    from repro.chain import keccak_256
+
+    assert labelhash("gold").raw == keccak_256(b"gold")
+
+
+def test_namehash_recursive_structure() -> None:
+    from repro.chain import Hash32, keccak_256
+
+    parent = namehash("eth")
+    child = Hash32(keccak_256(parent.raw + labelhash("gold").raw))
+    assert namehash("gold.eth") == child
+
+
+def test_subdomain_hashes_differ_from_parent() -> None:
+    assert namehash("pay.gold.eth") != namehash("gold.eth")
+
+
+def test_invalid_name_rejected() -> None:
+    with pytest.raises(InvalidName):
+        namehash("has space.eth")
+
+
+LABEL_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+@given(st.text(alphabet=LABEL_ALPHABET, min_size=1, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_namehash_deterministic_and_injective_on_labels(label: str) -> None:
+    assert namehash(f"{label}.eth") == namehash(f"{label}.eth")
+    if label != "other":
+        assert namehash(f"{label}.eth") != namehash("other.eth")

@@ -1,0 +1,69 @@
+"""Rent pricing: length tiers, durations, component rounding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.types import SECONDS_PER_YEAR
+from repro.ens.pricing import RentPriceOracle
+from repro.oracle import EthUsdOracle
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+ORACLE = RentPriceOracle(eth_usd=FLAT)
+
+
+class TestBasePricing:
+    def test_length_tiers(self) -> None:
+        assert ORACLE.base_usd_per_year("abc") == 640.0
+        assert ORACLE.base_usd_per_year("abcd") == 160.0
+        assert ORACLE.base_usd_per_year("abcde") == 5.0
+        assert ORACLE.base_usd_per_year("a-much-longer-name") == 5.0
+
+    def test_short_labels_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ORACLE.base_usd_per_year("ab")
+
+    def test_duration_scales_linearly(self) -> None:
+        one = ORACLE.base_price_usd("abcde", SECONDS_PER_YEAR)
+        three = ORACLE.base_price_usd("abcde", 3 * SECONDS_PER_YEAR)
+        assert three == pytest.approx(3 * one)
+
+    def test_zero_duration_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ORACLE.base_price_usd("abcde", 0)
+
+    def test_custom_tier_table(self) -> None:
+        custom = RentPriceOracle(
+            eth_usd=FLAT,
+            usd_per_year_by_length={3: 1000.0},
+            long_name_usd_per_year=1.0,
+        )
+        assert custom.base_usd_per_year("abc") == 1000.0
+        assert custom.base_usd_per_year("abcd") == 1.0
+
+
+class TestWeiConversion:
+    def test_five_dollar_year_at_2000(self) -> None:
+        wei = ORACLE.renewal_price_wei("abcde", SECONDS_PER_YEAR, 0)
+        assert wei == pytest.approx(int(5 / 2000 * 10**18), rel=1e-9)
+
+    def test_components_sum_to_total(self) -> None:
+        # the rounding-alignment contract that the state machine enforced
+        base, premium = ORACLE.price_components_wei(
+            "abcde", SECONDS_PER_YEAR, 0, seconds_since_release=5 * 86_400
+        )
+        total = ORACLE.total_price_wei(
+            "abcde", SECONDS_PER_YEAR, 0, seconds_since_release=5 * 86_400
+        )
+        assert base + premium == total
+        assert premium > 0
+
+    def test_no_release_means_no_premium(self) -> None:
+        base, premium = ORACLE.price_components_wei(
+            "abcde", SECONDS_PER_YEAR, 0, seconds_since_release=None
+        )
+        assert premium == 0
+
+    def test_premium_usd_none_is_zero(self) -> None:
+        assert ORACLE.premium_usd(None) == 0.0
+        assert ORACLE.premium_usd(0) > 0

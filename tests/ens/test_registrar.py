@@ -1,0 +1,257 @@
+"""Registrar lifecycle: commit-reveal, grace, premium, transfers, refunds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address, Blockchain, SECONDS_PER_DAY, SECONDS_PER_YEAR, ether
+from repro.ens import ENSDeployment, GRACE_PERIOD_SECONDS, labelhash
+from repro.ens.registrar import (
+    MIN_COMMITMENT_AGE_SECONDS,
+    MAX_COMMITMENT_AGE_SECONDS,
+    RegistrarController,
+)
+
+YEAR = SECONDS_PER_YEAR
+DAY = SECONDS_PER_DAY
+
+
+class TestRegistration:
+    def test_register_sets_expiry_and_ownership(self, chain, ens, alice) -> None:
+        receipt = ens.register(alice, "vault", YEAR)
+        assert receipt.success, receipt.error
+        expires = ens.name_expires("vault")
+        assert expires == pytest.approx(chain.now + YEAR, abs=120)
+        assert chain.view(ens.base.address, "owner_of", label_hash=labelhash("vault")) == alice
+
+    def test_register_with_addr_resolves(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=bob)
+        assert ens.resolve("vault.eth") == bob
+
+    def test_register_without_addr_does_not_resolve(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        assert ens.resolve("vault.eth") is None
+
+    def test_double_registration_rejected(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = ens.register(bob, "vault", YEAR)
+        assert not receipt.success
+        assert "not available" in receipt.error
+
+    def test_underpayment_rejected(self, chain, ens, alice) -> None:
+        receipt = ens.register(alice, "vault", YEAR, value=1)
+        assert not receipt.success
+        assert "costs" in receipt.error
+
+    def test_overpayment_refunded(self, chain, ens, alice) -> None:
+        price = ens.rent_price("vault", YEAR)
+        before = chain.balance_of(alice)
+        receipt = ens.register(alice, "vault", YEAR, value=price + ether(5))
+        assert receipt.success
+        assert chain.balance_of(alice) == before - price
+
+    def test_short_label_rejected(self, chain, ens, alice) -> None:
+        from repro.chain.errors import InvalidName
+
+        with pytest.raises(InvalidName):
+            ens.register(alice, "ab", YEAR)
+        assert not ens.available("ab")  # controller view is also False
+
+    def test_minimum_duration_enforced(self, chain, ens, alice) -> None:
+        receipt = ens.register(alice, "vault", 24 * 3600)
+        assert not receipt.success
+        assert "minimum" in receipt.error
+
+    def test_owner_can_differ_from_payer(self, chain, ens, alice, bob) -> None:
+        receipt = ens.register(alice, "vault", YEAR, owner=bob)
+        assert receipt.success
+        assert chain.view(ens.base.address, "owner_of", label_hash=labelhash("vault")) == bob
+
+
+class TestCommitReveal:
+    def test_register_without_commitment_fails(self, chain, ens, alice) -> None:
+        price = ens.rent_price("vault", YEAR)
+        receipt = chain.call(
+            alice, ens.controller.address, "register",
+            value=price, label="vault", owner=alice, duration=YEAR, secret=b"s",
+            set_addr_to=None,
+        )
+        assert not receipt.success
+        assert "commitment not found" in receipt.error
+
+    def test_too_fresh_commitment_fails(self, chain, ens, alice) -> None:
+        commitment = RegistrarController.make_commitment("vault", alice, b"s")
+        chain.call(alice, ens.controller.address, "commit", commitment=commitment)
+        price = ens.rent_price("vault", YEAR)
+        receipt = chain.call(
+            alice, ens.controller.address, "register",
+            value=price, label="vault", owner=alice, duration=YEAR, secret=b"s",
+            set_addr_to=None,
+        )
+        assert not receipt.success
+        assert "too new" in receipt.error
+
+    def test_stale_commitment_fails(self, chain, ens, alice) -> None:
+        commitment = RegistrarController.make_commitment("vault", alice, b"s")
+        chain.call(alice, ens.controller.address, "commit", commitment=commitment)
+        chain.advance_time(MAX_COMMITMENT_AGE_SECONDS + 1)
+        price = ens.rent_price("vault", YEAR)
+        receipt = chain.call(
+            alice, ens.controller.address, "register",
+            value=price, label="vault", owner=alice, duration=YEAR, secret=b"s",
+            set_addr_to=None,
+        )
+        assert not receipt.success
+        assert "expired" in receipt.error
+
+    def test_commitment_single_use(self, chain, ens, alice) -> None:
+        receipt = ens.register(alice, "vault", YEAR)
+        assert receipt.success
+        # second reveal with the same secret needs a fresh commitment
+        chain.advance_time(2 * YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        price = ens.rent_price("vault", YEAR)
+        retry = chain.call(
+            alice, ens.controller.address, "register",
+            value=price, label="vault", owner=alice, duration=YEAR, secret=b"s",
+            set_addr_to=None,
+        )
+        assert not retry.success
+        assert "commitment not found" in retry.error
+
+
+class TestRenewal:
+    def test_renew_extends_expiry(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        before = ens.name_expires("vault")
+        receipt = ens.renew(alice, "vault", YEAR)
+        assert receipt.success
+        assert ens.name_expires("vault") == before + YEAR
+
+    def test_anyone_can_renew(self, chain, ens, alice, bob) -> None:
+        # Renewal is permissionless on mainnet (you can gift renewals).
+        ens.register(alice, "vault", YEAR)
+        receipt = ens.renew(bob, "vault", YEAR)
+        assert receipt.success
+
+    def test_renew_during_grace_allowed(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + 30 * DAY)
+        receipt = ens.renew(alice, "vault", YEAR)
+        assert receipt.success
+
+    def test_renew_after_grace_rejected(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 1)
+        receipt = ens.renew(alice, "vault", YEAR)
+        assert not receipt.success
+        assert "grace" in receipt.error
+
+    def test_renewal_never_pays_premium(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + 10 * DAY)  # in grace
+        price = ens.pricing.renewal_price_wei("vault", YEAR, chain.now)
+        usd = ens.pricing.eth_usd.wei_to_usd(price, chain.now)
+        assert usd == pytest.approx(5.0, rel=1e-6)
+
+
+class TestExpiryAndDropcatch:
+    def test_grace_blocks_reregistration(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS - DAY)
+        assert not ens.available("vault")
+        receipt = ens.register(bob, "vault", YEAR)
+        assert not receipt.success
+
+    def test_dropcatch_after_grace(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        assert ens.available("vault")
+        receipt = ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        assert receipt.success, receipt.error
+        assert ens.resolve("vault.eth") == bob
+
+    def test_residual_resolution_until_recaught(self, chain, ens, alice, bob) -> None:
+        # The §4.4 design flaw: expired names keep resolving to the old
+        # owner until a re-registrant overwrites the record.
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 300 * DAY)
+        assert ens.available("vault")
+        assert ens.resolve("vault.eth") == alice
+
+    def test_premium_charged_on_dropcatch(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 1)
+        premium = chain.view(ens.controller.address, "premium_price_wei", label="vault")
+        usd = ens.pricing.eth_usd.wei_to_usd(premium, chain.now)
+        assert usd > 90e6
+
+    def test_registration_events_carry_cost_split(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 5 * DAY)
+        price = ens.rent_price("vault", YEAR)
+        chain.fund(bob, price)
+        receipt = ens.register(bob, "vault", YEAR, value=price)
+        assert receipt.success, receipt.error
+        events = [
+            log for log in chain.logs_of(ens.controller.address, "NameRegistered")
+            if log.param("owner") == bob
+        ]
+        assert len(events) == 1
+        assert events[0].param("premium") > 0
+        assert events[0].param("base_cost") > 0
+
+
+class TestTransfer:
+    def test_owner_can_transfer(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = ens.transfer(alice, "vault", bob)
+        assert receipt.success
+        assert chain.view(ens.base.address, "owner_of", label_hash=labelhash("vault")) == bob
+
+    def test_non_owner_cannot_transfer(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = ens.transfer(bob, "vault", bob)
+        assert not receipt.success
+
+    def test_transferee_controls_records(self, chain, ens, alice, bob, carol) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        ens.transfer(alice, "vault", bob)
+        receipt = ens.set_address_record(bob, "vault.eth", carol)
+        assert receipt.success, receipt.error
+        assert ens.resolve("vault.eth") == carol
+
+    def test_expired_name_cannot_transfer(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 1)
+        receipt = ens.transfer(alice, "vault", bob)
+        assert not receipt.success
+
+
+class TestMigration:
+    def test_legacy_names_seeded_with_deadline(self, chain, ens, alice) -> None:
+        deadline = chain.now + 120 * DAY
+        receipt = chain.call(
+            ens.deployer, ens.controller.address, "migrate_legacy_name",
+            label="legacy", owner=alice, expires=deadline,
+        )
+        assert receipt.success, receipt.error
+        assert ens.name_expires("legacy") == deadline
+        assert not ens.available("legacy")
+
+    def test_migrated_name_expires_if_not_renewed(self, chain, ens, alice, bob) -> None:
+        deadline = chain.now + 120 * DAY
+        chain.call(
+            ens.deployer, ens.controller.address, "migrate_legacy_name",
+            label="legacy", owner=alice, expires=deadline,
+        )
+        chain.advance_time(120 * DAY + GRACE_PERIOD_SECONDS + 22 * DAY)
+        receipt = ens.register(bob, "legacy", YEAR)
+        assert receipt.success, receipt.error
+
+    def test_cannot_migrate_over_live_name(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(
+            ens.deployer, ens.controller.address, "migrate_legacy_name",
+            label="vault", owner=alice, expires=chain.now + DAY,
+        )
+        assert not receipt.success

@@ -1,0 +1,148 @@
+"""Property-based registrar lifecycle testing (hypothesis state machine).
+
+Random interleavings of register / renew / transfer / time-advance must
+never violate the registrar's core invariants:
+
+* a name is available iff now > expiry + grace,
+* owner_of succeeds iff the name is not past grace,
+* renewal extends expiry by exactly the paid duration,
+* registration sets expiry to now + duration,
+* the registry node owner tracks the NFT owner after every operation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.chain import Address, Blockchain, SECONDS_PER_DAY, ether
+from repro.ens import ENSDeployment, GRACE_PERIOD_SECONDS, labelhash, namehash
+from repro.oracle import EthUsdOracle
+
+DAY = SECONDS_PER_DAY
+LABELS = ("machine", "property", "dropcatch")
+ACTORS = tuple(Address.derive(f"sm:{i}") for i in range(3))
+
+_FLAT_ORACLE = EthUsdOracle(
+    anchors=(("2019-12-01", 2000.0), ("2030-01-01", 2000.0)),
+    noise_amplitude=0.0,
+)
+
+
+class RegistrarMachine(RuleBasedStateMachine):
+    @initialize()
+    def deploy(self) -> None:
+        self.chain = Blockchain()
+        self.ens = ENSDeployment.deploy(self.chain, eth_usd=_FLAT_ORACLE)
+        for actor in ACTORS:
+            self.chain.fund(actor, ether(10**9))
+        # model state: label -> (owner, expiry) for live registrations
+        self.model: dict[str, tuple[Address, int]] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _model_available(self, label: str) -> bool:
+        entry = self.model.get(label)
+        if entry is None:
+            return True
+        _, expiry = entry
+        return self.chain.now > expiry + GRACE_PERIOD_SECONDS
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(
+        label=st.sampled_from(LABELS),
+        actor=st.sampled_from(ACTORS),
+        duration_days=st.integers(min_value=30, max_value=730),
+    )
+    def register(self, label: str, actor: Address, duration_days: int) -> None:
+        duration = duration_days * DAY
+        expected_available = self._model_available(label)
+        receipt = self.ens.register(actor, label, duration, set_addr_to=actor)
+        assert receipt.success == expected_available, receipt.error
+        if receipt.success:
+            self.model[label] = (actor, self.ens.name_expires(label))
+
+    @rule(
+        label=st.sampled_from(LABELS),
+        actor=st.sampled_from(ACTORS),
+        duration_days=st.integers(min_value=30, max_value=365),
+    )
+    def renew(self, label: str, actor: Address, duration_days: int) -> None:
+        duration = duration_days * DAY
+        entry = self.model.get(label)
+        renewable = entry is not None and (
+            self.chain.now <= entry[1] + GRACE_PERIOD_SECONDS
+        )
+        before = self.ens.name_expires(label) if entry else 0
+        receipt = self.ens.renew(actor, label, duration)
+        assert receipt.success == renewable, receipt.error
+        if receipt.success:
+            assert self.ens.name_expires(label) == before + duration
+            owner, _ = self.model[label]
+            self.model[label] = (owner, before + duration)
+
+    @rule(
+        label=st.sampled_from(LABELS),
+        sender=st.sampled_from(ACTORS),
+        recipient=st.sampled_from(ACTORS),
+    )
+    def transfer(self, label: str, sender: Address, recipient: Address) -> None:
+        entry = self.model.get(label)
+        can_transfer = (
+            entry is not None
+            and entry[0] == sender
+            and self.chain.now <= entry[1] + GRACE_PERIOD_SECONDS
+        )
+        receipt = self.ens.transfer(sender, label, recipient)
+        assert receipt.success == can_transfer, receipt.error
+        if receipt.success:
+            self.model[label] = (recipient, entry[1])
+
+    @rule(days=st.integers(min_value=1, max_value=200))
+    def advance(self, days: int) -> None:
+        self.chain.advance_time(days * DAY)
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def availability_matches_model(self) -> None:
+        if not hasattr(self, "ens"):
+            return
+        for label in LABELS:
+            assert self.ens.available(label) == self._model_available(label)
+
+    @invariant()
+    def expiry_matches_model(self) -> None:
+        if not hasattr(self, "ens"):
+            return
+        for label, (_, expiry) in self.model.items():
+            assert self.ens.name_expires(label) == expiry
+
+    @invariant()
+    def registry_owner_tracks_nft(self) -> None:
+        if not hasattr(self, "ens"):
+            return
+        for label, (owner, expiry) in self.model.items():
+            if self.chain.now <= expiry + GRACE_PERIOD_SECONDS:
+                node_owner = self.chain.view(
+                    self.ens.registry.address, "owner", node=namehash(f"{label}.eth")
+                )
+                assert node_owner == owner
+                nft_owner = self.chain.view(
+                    self.ens.base.address, "owner_of", label_hash=labelhash(label)
+                )
+                assert nft_owner == owner
+
+
+RegistrarMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestRegistrarStateMachine = RegistrarMachine.TestCase

@@ -1,0 +1,110 @@
+"""Resolver + registry record semantics, incl. residual resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import SECONDS_PER_YEAR, ZERO_ADDRESS
+from repro.ens import GRACE_PERIOD_SECONDS, namehash
+
+YEAR = SECONDS_PER_YEAR
+
+
+class TestResolverAuth:
+    def test_only_node_owner_sets_addr(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(
+            bob, ens.resolver.address, "set_addr",
+            node=namehash("vault.eth"), addr=bob,
+        )
+        assert not receipt.success
+
+    def test_owner_sets_and_clears(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        assert ens.resolve("vault.eth") == alice
+        receipt = chain.call(
+            alice, ens.resolver.address, "set_addr",
+            node=namehash("vault.eth"), addr=bob,
+        )
+        assert receipt.success
+        assert ens.resolve("vault.eth") == bob
+        chain.call(
+            alice, ens.resolver.address, "clear_addr", node=namehash("vault.eth")
+        )
+        assert ens.resolve("vault.eth") is None
+
+    def test_text_records(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(
+            alice, ens.resolver.address, "set_text",
+            node=namehash("vault.eth"), key="url", text="https://vault.example",
+        )
+        assert receipt.success
+        assert chain.view(
+            ens.resolver.address, "text", node=namehash("vault.eth"), key="url"
+        ) == "https://vault.example"
+
+    def test_unset_records_resolve_to_zero(self, chain, ens) -> None:
+        assert chain.view(
+            ens.resolver.address, "addr", node=namehash("nothing.eth")
+        ) == ZERO_ADDRESS
+
+
+class TestResidualResolution:
+    """The paper's §4.4 mechanism, end to end."""
+
+    def test_expired_name_keeps_old_record(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 200 * 86_400)
+        # way past expiry — no warning, still resolves
+        assert ens.resolve("vault.eth") == alice
+
+    def test_old_owner_keeps_record_control_until_recaught(
+        self, chain, ens, alice, bob
+    ) -> None:
+        # Registry ownership is untouched by expiry, so (surprisingly)
+        # the *old* owner can still edit records of their expired name.
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 30 * 86_400)
+        receipt = chain.call(
+            alice, ens.resolver.address, "set_addr",
+            node=namehash("vault.eth"), addr=bob,
+        )
+        assert receipt.success
+
+    def test_recatch_overwrites_resolution(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * 86_400)
+        ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        assert ens.resolve("vault.eth") == bob
+        # and the old owner has lost record control
+        receipt = chain.call(
+            alice, ens.resolver.address, "set_addr",
+            node=namehash("vault.eth"), addr=alice,
+        )
+        assert not receipt.success
+
+
+class TestSubdomains:
+    def test_owner_creates_subdomain(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        from repro.ens import labelhash
+
+        receipt = chain.call(
+            alice, ens.registry.address, "set_subnode_owner",
+            node=namehash("vault.eth"), label=labelhash("pay"), owner=bob,
+        )
+        assert receipt.success
+        assert chain.view(
+            ens.registry.address, "owner", node=namehash("pay.vault.eth")
+        ) == bob
+
+    def test_non_owner_cannot_create_subdomain(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        from repro.ens import labelhash
+
+        receipt = chain.call(
+            bob, ens.registry.address, "set_subnode_owner",
+            node=namehash("vault.eth"), label=labelhash("pay"), owner=bob,
+        )
+        assert not receipt.success

@@ -1,0 +1,152 @@
+"""Etherscan API facade: pagination limits, rate limiting, labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address, Blockchain, ether
+from repro.explorer import (
+    ApiError,
+    CATEGORY_COINBASE,
+    CATEGORY_CUSTODIAL_EXCHANGE,
+    EtherscanAPI,
+    ExplorerDatabase,
+    LabelRegistry,
+    RateLimitError,
+    VirtualClock,
+)
+
+
+@pytest.fixture()
+def api(chain: Blockchain) -> EtherscanAPI:
+    return EtherscanAPI(
+        database=ExplorerDatabase(chain),
+        labels=LabelRegistry(),
+        clock=VirtualClock(),
+        rate_limit_per_second=1000,  # effectively off unless a test lowers it
+    )
+
+
+@pytest.fixture()
+def busy_pair(chain: Blockchain):
+    a, b = Address.derive("api:a"), Address.derive("api:b")
+    chain.fund(a, ether(1000))
+    for _ in range(25):
+        chain.transfer(a, b, ether(1))
+    return a, b
+
+
+class TestTxList:
+    def test_returns_rows(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        rows = api.txlist(a)
+        assert len(rows) == 25
+        assert rows[0]["from"] == a.hex
+
+    def test_pagination(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        page1 = api.txlist(a, page=1, offset=10)
+        page2 = api.txlist(a, page=2, offset=10)
+        page3 = api.txlist(a, page=3, offset=10)
+        assert len(page1) == 10 and len(page2) == 10 and len(page3) == 5
+        assert {r["hash"] for r in page1}.isdisjoint({r["hash"] for r in page2})
+
+    def test_sort_desc(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        rows = api.txlist(a, sort="desc")
+        blocks = [int(r["blockNumber"]) for r in rows]
+        assert blocks == sorted(blocks, reverse=True)
+
+    def test_block_range_filter(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        all_rows = api.txlist(a)
+        mid = int(all_rows[12]["blockNumber"])
+        rows = api.txlist(a, startblock=mid, endblock=mid)
+        assert len(rows) == 1
+
+    def test_window_cap(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        with pytest.raises(ApiError, match="window"):
+            api.txlist(a, page=11, offset=1000)
+
+    def test_bad_params(self, chain, api, busy_pair) -> None:
+        a, _ = busy_pair
+        with pytest.raises(ApiError):
+            api.txlist(a, page=0)
+        with pytest.raises(ApiError):
+            api.txlist(a, sort="sideways")
+
+    def test_auto_syncs_new_blocks(self, chain, api, busy_pair) -> None:
+        a, b = busy_pair
+        before = len(api.txlist(a))
+        chain.transfer(a, b, 1)
+        assert len(api.txlist(a)) == before + 1
+
+
+class TestRateLimit:
+    def test_limit_enforced_and_recovers(self, chain, busy_pair) -> None:
+        a, _ = busy_pair
+        clock = VirtualClock()
+        api = EtherscanAPI(
+            database=ExplorerDatabase(chain),
+            labels=LabelRegistry(),
+            clock=clock,
+            rate_limit_per_second=5,
+        )
+        for _ in range(5):
+            api.txlist(a)
+        with pytest.raises(RateLimitError):
+            api.txlist(a)
+        assert api.calls_rejected == 1
+        clock.sleep(1.0)
+        assert len(api.txlist(a)) == 25  # window reset
+
+
+class TestPointLookups:
+    def test_get_transaction(self, chain, api, busy_pair) -> None:
+        a, b = busy_pair
+        receipt = chain.transfer(a, b, ether(2))
+        row = api.get_transaction(receipt.tx_hash.hex)
+        assert row is not None
+        assert row["value"] == str(ether(2))
+        assert row["from"] == a.hex
+        assert row["isError"] == "0"
+
+    def test_get_transaction_unknown(self, chain, api) -> None:
+        assert api.get_transaction("0x" + "ab" * 32) is None
+        assert api.get_transaction("garbage") is None
+
+    def test_get_block(self, chain, api, busy_pair) -> None:
+        a, b = busy_pair
+        receipt = chain.transfer(a, b, 1)
+        block = api.get_block(receipt.block_number)
+        assert block is not None
+        assert block["transactionCount"] == "1"
+        assert int(block["timestamp"]) == receipt.timestamp
+
+    def test_get_block_out_of_range(self, chain, api) -> None:
+        assert api.get_block(chain.height + 99) is None
+
+
+class TestLabels:
+    def test_tag_and_lookup(self, chain, api) -> None:
+        addr = Address.derive("exchange-hot-wallet")
+        api.labels.tag(addr, "Binance 14", CATEGORY_CUSTODIAL_EXCHANGE)
+        label = api.get_label(addr)
+        assert label == {"name": "Binance 14", "category": CATEGORY_CUSTODIAL_EXCHANGE}
+
+    def test_unknown_label_is_none(self, chain, api) -> None:
+        assert api.get_label(Address.derive("nobody")) is None
+
+    def test_category_lists(self, chain, api) -> None:
+        registry = api.labels
+        for i in range(3):
+            registry.tag(Address.derive(f"cb:{i}"), f"Coinbase {i}", CATEGORY_COINBASE)
+        for i in range(4):
+            registry.tag(
+                Address.derive(f"ex:{i}"), f"Exchange {i}", CATEGORY_CUSTODIAL_EXCHANGE
+            )
+        assert len(registry.coinbase_addresses()) == 3
+        assert len(registry.non_coinbase_custodial_addresses()) == 4
+        assert all(registry.is_custodial(a) for a in registry.coinbase_addresses())
+        assert not registry.is_coinbase(registry.non_coinbase_custodial_addresses()[0])

@@ -1,0 +1,95 @@
+"""Explorer database: ingestion and per-address indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address, Blockchain, ether
+from repro.explorer import ExplorerDatabase
+
+
+@pytest.fixture()
+def actors(chain: Blockchain):
+    a, b, c = (Address.derive(f"xdb:{i}") for i in "abc")
+    chain.fund(a, ether(100))
+    chain.fund(b, ether(100))
+    return a, b, c
+
+
+class TestSync:
+    def test_indexes_all_blocks(self, chain, actors) -> None:
+        a, b, _ = actors
+        chain.transfer(a, b, ether(1))
+        chain.transfer(b, a, ether(2))
+        db = ExplorerDatabase(chain)
+        assert db.sync() >= 2
+        assert db.total_transactions >= 2
+
+    def test_incremental_sync(self, chain, actors) -> None:
+        a, b, _ = actors
+        db = ExplorerDatabase(chain)
+        db.sync()
+        before = db.total_transactions
+        chain.transfer(a, b, 1)
+        assert db.sync() == 1
+        assert db.total_transactions == before + 1
+
+    def test_sync_idempotent(self, chain, actors) -> None:
+        a, b, _ = actors
+        chain.transfer(a, b, 1)
+        db = ExplorerDatabase(chain)
+        db.sync()
+        count = db.total_transactions
+        assert db.sync() == 0
+        assert db.total_transactions == count
+
+
+class TestIndexes:
+    def test_directional_queries(self, chain, actors) -> None:
+        a, b, c = actors
+        chain.transfer(a, b, ether(1))
+        chain.transfer(b, a, ether(2))
+        chain.transfer(a, c, ether(3))
+        db = ExplorerDatabase(chain)
+        db.sync()
+        assert len(db.outgoing(a)) == 2
+        assert len(db.incoming(a)) == 1
+        assert len(db.incoming(c)) == 1
+        assert db.outgoing(c) == []
+
+    def test_both_parties_see_transaction(self, chain, actors) -> None:
+        a, b, _ = actors
+        receipt = chain.transfer(a, b, ether(1))
+        db = ExplorerDatabase(chain)
+        db.sync()
+        hashes_a = {e.tx_hash for e in db.transactions_of(a)}
+        hashes_b = {e.tx_hash for e in db.transactions_of(b)}
+        assert receipt.tx_hash.hex in hashes_a
+        assert receipt.tx_hash.hex in hashes_b
+
+    def test_failed_tx_flagged(self, chain, actors, ens) -> None:
+        a, _, _ = actors
+        receipt = ens.register(a, "vault", 10)  # below min duration → revert
+        assert not receipt.success
+        db = ExplorerDatabase(chain)
+        db.sync()
+        entry = next(
+            e for e in db.transactions_of(a) if e.tx_hash == receipt.tx_hash.hex
+        )
+        assert entry.is_error
+        assert entry.method == "register"
+
+    def test_unknown_address_empty(self, chain) -> None:
+        db = ExplorerDatabase(chain)
+        db.sync()
+        assert db.transactions_of(Address.derive("never-seen")) == []
+
+    def test_api_dict_is_stringly_typed(self, chain, actors) -> None:
+        a, b, _ = actors
+        chain.transfer(a, b, ether(1))
+        db = ExplorerDatabase(chain)
+        db.sync()
+        row = db.transactions_of(a)[0].as_api_dict()
+        assert row["value"] == str(ether(1))
+        assert row["isError"] == "0"
+        assert row["from"] == a.hex

@@ -1,0 +1,194 @@
+"""GraphQL subset: lexing, parsing, filtering, pagination, projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexer.query import GraphQLError, execute_query, parse_query
+
+ROWS = [
+    {"id": "a", "name": "alpha.eth", "expiryDate": 100, "labelName": "alpha",
+     "registrations": [{"id": "a-0", "registrant": "0x1"}]},
+    {"id": "b", "name": "beta.eth", "expiryDate": 200, "labelName": None,
+     "registrations": []},
+    {"id": "c", "name": "gamma.eth", "expiryDate": 300, "labelName": "gamma",
+     "registrations": [{"id": "c-0", "registrant": "0x2"},
+                       {"id": "c-1", "registrant": "0x3"}]},
+]
+
+
+def run(text: str, max_first: int = 1000, max_skip: int = 5000):
+    return execute_query(
+        parse_query(text), {"domains": lambda: ROWS},
+        max_first=max_first, max_skip=max_skip,
+    )
+
+
+class TestParsing:
+    def test_simple_query(self) -> None:
+        fields = parse_query("{ domains { id name } }")
+        assert fields[0].name == "domains"
+        assert [s.name for s in fields[0].selections] == ["id", "name"]
+
+    def test_query_keyword_allowed(self) -> None:
+        assert parse_query("query { domains { id } }")[0].name == "domains"
+
+    def test_arguments_parsed(self) -> None:
+        node = parse_query(
+            '{ domains(first: 5, skip: 2, orderBy: id, orderDirection: desc,'
+            ' where: {expiryDate_gt: 150, labelName_not: null}) { id } }'
+        )[0]
+        assert node.arguments["first"] == 5
+        assert node.arguments["where"] == {"expiryDate_gt": 150, "labelName_not": None}
+
+    def test_list_values(self) -> None:
+        node = parse_query('{ domains(where: {id_in: ["a", "c"]}) { id } }')[0]
+        assert node.arguments["where"]["id_in"] == ["a", "c"]
+
+    @pytest.mark.parametrize("bad", [
+        "", "{}", "{ domains }", "{ domains { } }", "{ domains { id }",
+        '{ domains(first: ) { id } }', "domains { id }", "{ 42 { id } }",
+        '{ domains { id } } trailing',
+    ])
+    def test_syntax_errors(self, bad: str) -> None:
+        with pytest.raises(GraphQLError):
+            fields = parse_query(bad)
+            execute_query(fields, {"domains": lambda: ROWS}, 1000, 5000)
+
+    def test_unterminated_string(self) -> None:
+        with pytest.raises(GraphQLError):
+            parse_query('{ domains(where: {id: "oops}) { id } }')
+
+
+class TestExecution:
+    def test_projection(self) -> None:
+        data = run("{ domains { id name } }")
+        assert data["domains"][0] == {"id": "a", "name": "alpha.eth"}
+
+    def test_nested_projection(self) -> None:
+        data = run("{ domains { id registrations { registrant } } }")
+        assert data["domains"][2]["registrations"] == [
+            {"registrant": "0x2"}, {"registrant": "0x3"},
+        ]
+
+    def test_where_equality(self) -> None:
+        data = run('{ domains(where: {id: "b"}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["b"]
+
+    def test_where_null(self) -> None:
+        data = run("{ domains(where: {labelName: null}) { id } }")
+        assert [row["id"] for row in data["domains"]] == ["b"]
+
+    def test_where_not_null(self) -> None:
+        data = run("{ domains(where: {labelName_not: null}) { id } }")
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_where_comparisons(self) -> None:
+        assert [r["id"] for r in run(
+            "{ domains(where: {expiryDate_gt: 100}) { id } }")["domains"]] == ["b", "c"]
+        assert [r["id"] for r in run(
+            "{ domains(where: {expiryDate_gte: 200}) { id } }")["domains"]] == ["b", "c"]
+        assert [r["id"] for r in run(
+            "{ domains(where: {expiryDate_lt: 200}) { id } }")["domains"]] == ["a"]
+        assert [r["id"] for r in run(
+            "{ domains(where: {expiryDate_lte: 200}) { id } }")["domains"]] == ["a", "b"]
+
+    def test_where_in(self) -> None:
+        data = run('{ domains(where: {id_in: ["a", "c"]}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_where_not_in(self) -> None:
+        data = run('{ domains(where: {id_not_in: ["a", "c"]}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["b"]
+
+    def test_where_contains(self) -> None:
+        data = run('{ domains(where: {name_contains: "eta"}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["b"]
+
+    def test_where_not_contains(self) -> None:
+        data = run('{ domains(where: {name_not_contains: "eta"}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_where_starts_and_ends_with(self) -> None:
+        data = run('{ domains(where: {name_starts_with: "alpha"}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["a"]
+        data = run('{ domains(where: {name_ends_with: ".eth"}) { id } }')
+        assert len(data["domains"]) == 3
+
+    def test_string_filters_skip_null_columns(self) -> None:
+        # labelName is null for "b": string filters must not crash or match
+        data = run('{ domains(where: {labelName_contains: "a"}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_or_combinator(self) -> None:
+        data = run('{ domains(where: {or: [{id: "a"}, {id: "c"}]}) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_and_combinator(self) -> None:
+        data = run(
+            '{ domains(where: {and: [{expiryDate_gt: 100},'
+            ' {labelName_not: null}]}) { id } }'
+        )
+        assert [row["id"] for row in data["domains"]] == ["c"]
+
+    def test_nested_combinators(self) -> None:
+        data = run(
+            '{ domains(where: {or: [{and: [{expiryDate_gte: 300}]},'
+            ' {id: "a"}]}) { id } }'
+        )
+        assert [row["id"] for row in data["domains"]] == ["a", "c"]
+
+    def test_combinator_alongside_plain_filter(self) -> None:
+        data = run(
+            '{ domains(where: {expiryDate_gt: 100,'
+            ' or: [{id: "b"}, {id: "c"}]}) { id } }'
+        )
+        assert [row["id"] for row in data["domains"]] == ["b", "c"]
+
+    def test_bad_combinator_payload(self) -> None:
+        with pytest.raises(GraphQLError, match="list of filter objects"):
+            run('{ domains(where: {or: 5}) { id } }')
+
+    def test_id_gt_cursor_style(self) -> None:
+        data = run('{ domains(where: {id_gt: "a"}, orderBy: id) { id } }')
+        assert [row["id"] for row in data["domains"]] == ["b", "c"]
+
+    def test_order_desc(self) -> None:
+        data = run("{ domains(orderBy: expiryDate, orderDirection: desc) { id } }")
+        assert [row["id"] for row in data["domains"]] == ["c", "b", "a"]
+
+    def test_order_with_nulls(self) -> None:
+        data = run("{ domains(orderBy: labelName) { id } }")
+        assert data["domains"][0]["id"] == "b"  # null sorts first ascending
+
+    def test_first_and_skip(self) -> None:
+        data = run("{ domains(first: 1, skip: 1, orderBy: id) { id } }")
+        assert [row["id"] for row in data["domains"]] == ["b"]
+
+    def test_first_cap_enforced(self) -> None:
+        with pytest.raises(GraphQLError, match="exceeds"):
+            run("{ domains(first: 2000) { id } }")
+
+    def test_skip_cap_enforced(self) -> None:
+        with pytest.raises(GraphQLError, match="exceeds"):
+            run("{ domains(skip: 6000) { id } }")
+
+    def test_unknown_collection(self) -> None:
+        with pytest.raises(GraphQLError, match="unknown collection"):
+            run("{ wallets { id } }")
+
+    def test_unknown_field(self) -> None:
+        with pytest.raises(GraphQLError, match="unknown field"):
+            run("{ domains { nope } }")
+
+    def test_unknown_filter_field(self) -> None:
+        with pytest.raises(GraphQLError, match="unknown filter"):
+            run("{ domains(where: {nope_gt: 1}) { id } }")
+
+    def test_invalid_first(self) -> None:
+        with pytest.raises(GraphQLError):
+            run("{ domains(first: 0) { id } }")
+
+    def test_scalar_subselection_rejected(self) -> None:
+        with pytest.raises(GraphQLError, match="no sub-fields"):
+            run("{ domains { id { nested } } }")

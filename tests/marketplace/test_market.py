@@ -1,0 +1,232 @@
+"""Marketplace contract: approvals, listings, atomic settlement, API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Address, Blockchain, SECONDS_PER_YEAR, ether
+from repro.ens import labelhash
+from repro.marketplace import (
+    EVENT_LISTING,
+    EVENT_SALE,
+    MAX_EVENTS_PER_PAGE,
+    OpenSeaAPI,
+    OpenSeaMarket,
+)
+
+YEAR = SECONDS_PER_YEAR
+TOKEN = labelhash("vault")
+
+
+@pytest.fixture()
+def market(chain: Blockchain, ens) -> OpenSeaMarket:
+    contract = OpenSeaMarket(Address.derive("test:opensea"), chain, ens.base)
+    chain.deploy(contract)
+    return contract
+
+
+@pytest.fixture()
+def listed(chain, ens, market, alice):
+    """alice owns vault.eth, approved and listed at 5 ETH."""
+    ens.register(alice, "vault", YEAR, set_addr_to=alice)
+    chain.call(alice, ens.base.address, "approve",
+               to=market.address, label_hash=TOKEN)
+    receipt = chain.call(alice, market.address, "list_token",
+                         token_id=TOKEN, price_wei=ether(5))
+    assert receipt.success, receipt.error
+    return alice
+
+
+class TestListings:
+    def test_list_requires_ownership(self, chain, ens, market, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(bob, market.address, "list_token",
+                             token_id=TOKEN, price_wei=ether(5))
+        assert not receipt.success
+        assert "owner" in receipt.error
+
+    def test_list_requires_approval(self, chain, ens, market, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(alice, market.address, "list_token",
+                             token_id=TOKEN, price_wei=ether(5))
+        assert not receipt.success
+        assert "approved" in receipt.error
+
+    def test_list_and_query(self, chain, market, listed) -> None:
+        assert market.is_listed(TOKEN)
+        assert market.listing_price(TOKEN) == ether(5)
+
+    def test_relist_reprices(self, chain, market, listed) -> None:
+        receipt = chain.call(listed, market.address, "list_token",
+                             token_id=TOKEN, price_wei=ether(3))
+        assert receipt.success
+        assert market.listing_price(TOKEN) == ether(3)
+
+    def test_non_positive_price_rejected(self, chain, ens, market, alice) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.call(alice, ens.base.address, "approve",
+                   to=market.address, label_hash=TOKEN)
+        receipt = chain.call(alice, market.address, "list_token",
+                             token_id=TOKEN, price_wei=0)
+        assert not receipt.success
+
+    def test_cancel(self, chain, market, listed) -> None:
+        receipt = chain.call(listed, market.address, "cancel_listing",
+                             token_id=TOKEN)
+        assert receipt.success
+        assert not market.is_listed(TOKEN)
+
+    def test_cancel_by_stranger_rejected(self, chain, market, listed, bob) -> None:
+        receipt = chain.call(bob, market.address, "cancel_listing",
+                             token_id=TOKEN)
+        assert not receipt.success
+
+
+class TestSales:
+    def test_buy_settles_atomically(self, chain, ens, market, listed, bob) -> None:
+        seller_before = chain.balance_of(listed)
+        buyer_before = chain.balance_of(bob)
+        receipt = chain.call(bob, market.address, "buy",
+                             value=ether(5), token_id=TOKEN)
+        assert receipt.success, receipt.error
+        # payment moved (as an internal transfer from the market)
+        assert chain.balance_of(listed) == seller_before + ether(5)
+        assert chain.balance_of(bob) == buyer_before - ether(5)
+        # the NFT moved through the approval
+        assert chain.view(ens.base.address, "owner_of", label_hash=TOKEN) == bob
+        assert not market.is_listed(TOKEN)
+
+    def test_overpayment_refunded(self, chain, market, listed, bob) -> None:
+        before = chain.balance_of(bob)
+        receipt = chain.call(bob, market.address, "buy",
+                             value=ether(8), token_id=TOKEN)
+        assert receipt.success
+        assert chain.balance_of(bob) == before - ether(5)
+
+    def test_underpayment_reverts(self, chain, ens, market, listed, bob) -> None:
+        before = chain.balance_of(bob)
+        receipt = chain.call(bob, market.address, "buy",
+                             value=ether(1), token_id=TOKEN)
+        assert not receipt.success
+        assert chain.balance_of(bob) == before
+        assert chain.view(ens.base.address, "owner_of", label_hash=TOKEN) == listed
+        assert market.is_listed(TOKEN)
+
+    def test_buy_unlisted_rejected(self, chain, market, bob) -> None:
+        receipt = chain.call(bob, market.address, "buy",
+                             value=ether(5), token_id=TOKEN)
+        assert not receipt.success
+
+    def test_stale_listing_reverts_and_refunds(
+        self, chain, ens, market, listed, bob, carol
+    ) -> None:
+        # seller transfers the name away after listing: approval is gone,
+        # so a buy must revert as a unit (buyer keeps their money)
+        ens.transfer(listed, "vault", carol)
+        before = chain.balance_of(bob)
+        receipt = chain.call(bob, market.address, "buy",
+                             value=ether(5), token_id=TOKEN)
+        assert not receipt.success
+        assert chain.balance_of(bob) == before
+        assert chain.view(ens.base.address, "owner_of", label_hash=TOKEN) == carol
+
+    def test_sale_event_recorded(self, chain, market, listed, bob) -> None:
+        chain.call(bob, market.address, "buy", value=ether(5), token_id=TOKEN)
+        types = [event.event_type for event in market.events_of(TOKEN)]
+        assert types == [EVENT_LISTING, EVENT_SALE]
+        sale = market.events_of(TOKEN)[-1]
+        assert sale.taker == bob.hex
+        assert sale.maker == listed.hex
+
+
+class TestApprovals:
+    def test_approval_lifecycle(self, chain, ens, market, alice, bob) -> None:
+        from repro.chain import ZERO_ADDRESS
+
+        ens.register(alice, "vault", YEAR)
+        assert chain.view(ens.base.address, "get_approved",
+                          label_hash=TOKEN) == ZERO_ADDRESS
+        chain.call(alice, ens.base.address, "approve", to=bob, label_hash=TOKEN)
+        assert chain.view(ens.base.address, "get_approved",
+                          label_hash=TOKEN) == bob
+
+    def test_approved_operator_can_transfer(self, chain, ens, alice, bob, carol) -> None:
+        ens.register(alice, "vault", YEAR)
+        chain.call(alice, ens.base.address, "approve", to=bob, label_hash=TOKEN)
+        receipt = chain.call(bob, ens.base.address, "transfer_from",
+                             to=carol, label_hash=TOKEN)
+        assert receipt.success
+        assert chain.view(ens.base.address, "owner_of", label_hash=TOKEN) == carol
+
+    def test_approval_clears_on_transfer(self, chain, ens, alice, bob, carol) -> None:
+        from repro.chain import ZERO_ADDRESS
+
+        ens.register(alice, "vault", YEAR)
+        chain.call(alice, ens.base.address, "approve", to=bob, label_hash=TOKEN)
+        chain.call(bob, ens.base.address, "transfer_from", to=carol, label_hash=TOKEN)
+        assert chain.view(ens.base.address, "get_approved",
+                          label_hash=TOKEN) == ZERO_ADDRESS
+        # bob cannot move it again
+        receipt = chain.call(bob, ens.base.address, "transfer_from",
+                             to=bob, label_hash=TOKEN)
+        assert not receipt.success
+
+    def test_only_owner_approves(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR)
+        receipt = chain.call(bob, ens.base.address, "approve",
+                             to=bob, label_hash=TOKEN)
+        assert not receipt.success
+
+    def test_remint_voids_approval(self, chain, ens, alice, bob) -> None:
+        from repro.chain import SECONDS_PER_DAY, ZERO_ADDRESS
+        from repro.ens import GRACE_PERIOD_SECONDS
+
+        ens.register(alice, "vault", YEAR)
+        chain.call(alice, ens.base.address, "approve", to=bob, label_hash=TOKEN)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * SECONDS_PER_DAY)
+        ens.register(bob, "vault", YEAR)
+        assert chain.view(ens.base.address, "get_approved",
+                          label_hash=TOKEN) == ZERO_ADDRESS
+
+
+class TestEventsAPI:
+    def test_token_history_newest_first(self, chain, market, listed, bob) -> None:
+        chain.advance_time(60)
+        chain.call(bob, market.address, "buy", value=ether(5), token_id=TOKEN)
+        api = OpenSeaAPI(market)
+        page = api.asset_events(token_id=TOKEN)
+        types = [event["eventType"] for event in page["asset_events"]]
+        assert types == [EVENT_SALE, EVENT_LISTING]
+        assert page["next"] is None
+
+    def test_event_type_filter(self, chain, market, listed, bob) -> None:
+        chain.call(bob, market.address, "buy", value=ether(5), token_id=TOKEN)
+        api = OpenSeaAPI(market)
+        sales = api.asset_events(event_type=EVENT_SALE)["asset_events"]
+        assert len(sales) == 1
+        assert sales[0]["taker"] == bob.hex
+
+    def test_cursor_pagination(self, chain, ens, market, alice) -> None:
+        ens.register(alice, "manyevents", YEAR)
+        token = labelhash("manyevents")
+        chain.call(alice, ens.base.address, "approve",
+                   to=market.address, label_hash=token)
+        for i in range(MAX_EVENTS_PER_PAGE + 10):
+            chain.call(alice, market.address, "list_token",
+                       token_id=token, price_wei=ether(1) + i)
+            chain.advance_time(1)
+        api = OpenSeaAPI(market)
+        first = api.asset_events()
+        assert len(first["asset_events"]) == MAX_EVENTS_PER_PAGE
+        second = api.asset_events(cursor=first["next"])
+        assert len(second["asset_events"]) == 10
+        assert second["next"] is None
+
+    def test_limit_validation(self, market) -> None:
+        api = OpenSeaAPI(market)
+        with pytest.raises(ValueError):
+            api.asset_events(limit=0)
+        with pytest.raises(ValueError):
+            api.asset_events(limit=MAX_EVENTS_PER_PAGE + 1)
+        with pytest.raises(ValueError):
+            api.asset_events(cursor=-1)

@@ -1,0 +1,73 @@
+"""The command-line interface, end to end through tmp datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "crawl"
+    code = main(["simulate", "--domains", "250", "--seed", "5", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_requires_out(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_defaults(self) -> None:
+        args = build_parser().parse_args(["report"])
+        assert args.domains == 1000
+        assert args.seed == 7
+
+
+class TestSimulate:
+    def test_writes_dataset(self, saved_dataset, capsys) -> None:
+        names = {path.name for path in saved_dataset.iterdir()}
+        assert "domains.jsonl" in names
+        assert "meta.json" in names
+
+
+class TestAnalyze:
+    def test_prints_headline(self, saved_dataset, capsys) -> None:
+        assert main(["analyze", str(saved_dataset)]) == 0
+        output = capsys.readouterr().out
+        assert "re-registered:" in output
+        assert "misdirected txs:" in output
+        assert "profitable catchers:" in output
+
+    def test_missing_dataset_raises(self, tmp_path) -> None:
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope")])
+
+
+class TestPredict:
+    def test_prints_metrics(self, saved_dataset, capsys) -> None:
+        assert main(["predict", str(saved_dataset)]) == 0
+        output = capsys.readouterr().out
+        assert "auc=" in output
+        assert "log_income_usd" in output
+
+
+class TestReport:
+    def test_in_memory_pipeline(self, capsys) -> None:
+        assert main(["report", "--domains", "200", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "domains: " in output
+
+
+class TestSweep:
+    def test_prints_metric_summaries(self, capsys) -> None:
+        assert main(["sweep", "--domains", "120", "--seeds", "1", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "robustness over seeds [1, 2]" in output
+        assert "income_ratio" in output

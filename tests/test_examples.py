@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run clean at small scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self) -> None:
+        output = _run("quickstart.py", "150", "3")
+        assert "headline results" in output
+        assert "re-registered:" in output
+
+    def test_dropcatch_attack(self) -> None:
+        output = _run("dropcatch_attack.py")
+        assert "landed in mallory's wallet" in output
+        assert "warning=YES" in output
+
+    def test_crawl_and_persist(self, tmp_path) -> None:
+        output = _run("crawl_and_persist.py", str(tmp_path / "out"))
+        assert "identical to the pre-save analysis: True" in output
+
+    def test_speculator_economics(self) -> None:
+        output = _run("speculator_economics.py", "150")
+        assert "catch concentration" in output
+        assert "per-whale ledger" in output
+
+    def test_countermeasure_study(self) -> None:
+        output = _run("countermeasure_study.py", "150")
+        assert "coverage by warning window" in output
+        assert "residual" in output
+
+    def test_every_example_has_a_smoke_test(self) -> None:
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        covered = {
+            "quickstart.py", "dropcatch_attack.py", "crawl_and_persist.py",
+            "speculator_economics.py", "countermeasure_study.py",
+        }
+        assert scripts == covered, scripts ^ covered

@@ -1,0 +1,82 @@
+"""The §6 countermeasure evaluator on hand-built loss data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import detect_losses
+from repro.oracle import EthUsdOracle
+from repro.wallets import evaluate_countermeasure
+
+from ..core.helpers import make_dataset, make_domain, make_registration, make_tx
+
+FLAT = EthUsdOracle(anchors=(("2019-01-01", 2000.0),), noise_amplitude=0.0)
+A1, A2, C = "0xa1", "0xa2", "0xc"
+
+
+def _world(misdirect_days: list[int]):
+    """a2 catches at day 600; c misdirects on the given days."""
+    domain = make_domain("d", [
+        make_registration(A1, 100, 465, ordinal=0),
+        make_registration(A2, 600, 965, ordinal=1),
+    ])
+    txs = [make_tx(C, A1, 200)]
+    txs += [make_tx(C, A2, day, value_wei=10**18) for day in misdirect_days]
+    return make_dataset([domain], txs, crawl_day=1000)
+
+
+class TestCountermeasure:
+    def test_warns_within_window(self) -> None:
+        dataset = _world([610, 650])  # 10 and 50 days after the catch
+        losses = detect_losses(dataset, FLAT)
+        evaluation = evaluate_countermeasure(dataset, losses, warning_window_days=90)
+        assert evaluation.misdirected_txs == 2
+        assert evaluation.warned_txs == 2
+        assert evaluation.tx_coverage == 1.0
+        assert evaluation.usd_coverage == 1.0
+
+    def test_window_boundary(self) -> None:
+        dataset = _world([689, 691])  # 89 and 91 days after the catch
+        losses = detect_losses(dataset, FLAT)
+        evaluation = evaluate_countermeasure(dataset, losses, warning_window_days=90)
+        assert evaluation.warned_txs == 1
+        assert evaluation.tx_coverage == pytest.approx(0.5)
+
+    def test_late_payments_pass_silently(self) -> None:
+        dataset = _world([900])  # 300 days later: banner long gone
+        losses = detect_losses(dataset, FLAT)
+        evaluation = evaluate_countermeasure(dataset, losses, warning_window_days=90)
+        assert evaluation.warned_txs == 0
+        assert evaluation.usd_coverage == 0.0
+
+    def test_wider_window_catches_more(self) -> None:
+        dataset = _world([700, 800])
+        losses = detect_losses(dataset, FLAT)
+        narrow = evaluate_countermeasure(dataset, losses, warning_window_days=30)
+        wide = evaluate_countermeasure(dataset, losses, warning_window_days=365)
+        assert narrow.warned_txs <= wide.warned_txs
+        assert wide.tx_coverage == 1.0
+
+    def test_empty_losses(self) -> None:
+        dataset = _world([])
+        losses = detect_losses(dataset, FLAT)
+        evaluation = evaluate_countermeasure(dataset, losses)
+        assert evaluation.misdirected_txs == 0
+        assert evaluation.tx_coverage == 0.0
+        assert evaluation.usd_coverage == 0.0
+
+    def test_usd_coverage_weights_by_value(self) -> None:
+        domain = make_domain("d", [
+            make_registration(A1, 100, 465, ordinal=0),
+            make_registration(A2, 600, 965, ordinal=1),
+        ])
+        txs = [
+            make_tx(C, A1, 200),
+            make_tx(C, A2, 610, value_wei=9 * 10**18),   # warned, 9 ETH
+            make_tx(C, A2, 900, value_wei=1 * 10**18),   # silent, 1 ETH
+        ]
+        dataset = make_dataset([domain], txs, crawl_day=1000)
+        losses = detect_losses(dataset, FLAT)
+        evaluation = evaluate_countermeasure(dataset, losses, warning_window_days=90)
+        assert evaluation.tx_coverage == pytest.approx(0.5)
+        assert evaluation.usd_coverage == pytest.approx(0.9)

@@ -1,0 +1,110 @@
+"""Wallet resolution behaviour (Table 2) and the warning countermeasure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import SECONDS_PER_DAY, SECONDS_PER_YEAR
+from repro.ens import GRACE_PERIOD_SECONDS
+from repro.wallets import (
+    STOCK_WALLETS,
+    WARNING_WALLET,
+    WalletProfile,
+    survey_wallets,
+)
+
+YEAR = SECONDS_PER_YEAR
+DAY = SECONDS_PER_DAY
+
+
+@pytest.fixture()
+def expired_name(chain, ens, alice):
+    ens.register(alice, "vault", YEAR, set_addr_to=alice)
+    chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 30 * DAY)
+    return "vault.eth"
+
+
+class TestStockWallets:
+    def test_table2_no_wallet_warns(self, chain, ens, alice, expired_name) -> None:
+        outcomes = survey_wallets(ens, expired_name)
+        assert len(outcomes) == 7
+        assert all(o.resolved_address == alice for o in outcomes)
+        assert all(o.name_is_expired for o in outcomes)
+        assert not any(o.warning_shown for o in outcomes)
+        assert all(o.would_send_blind for o in outcomes)
+
+    def test_live_name_is_safe(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        outcomes = survey_wallets(ens, "vault.eth")
+        assert not any(o.would_send_blind for o in outcomes)
+
+    def test_wallet_names_match_paper(self) -> None:
+        names = {wallet.name for wallet in STOCK_WALLETS}
+        assert names == {
+            "Metamask", "Coinbase", "Trust Wallet", "Bitcoin.com",
+            "Alpha Wallet", "Atomic Wallet", "Rainbow Wallet",
+        }
+
+
+class TestWarningWallet:
+    def test_warns_on_expired(self, chain, ens, alice, expired_name) -> None:
+        outcome = WARNING_WALLET.resolve(ens, expired_name)
+        assert outcome.warning_shown
+        assert not outcome.would_send_blind
+
+    def test_warns_on_recent_reregistration(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        chain.advance_time(10 * DAY)
+        outcome = WARNING_WALLET.resolve(ens, "vault.eth")
+        assert outcome.name_recently_reregistered
+        assert outcome.warning_shown
+        # a stock wallet resolves the same name blind
+        stock = STOCK_WALLETS[0].resolve(ens, "vault.eth")
+        assert stock.would_send_blind
+
+    def test_warning_fades_after_window(self, chain, ens, alice, bob) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        chain.advance_time(200 * DAY)
+        outcome = WARNING_WALLET.resolve(ens, "vault.eth")
+        assert not outcome.name_recently_reregistered
+        assert not outcome.warning_shown
+
+    def test_fresh_first_registration_not_flagged(self, chain, ens, alice) -> None:
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(DAY)
+        outcome = WARNING_WALLET.resolve(ens, "vault.eth")
+        assert not outcome.name_recently_reregistered
+
+    def test_display_name_verified(self, chain, ens, alice) -> None:
+        wallet = STOCK_WALLETS[0]
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        ens.set_reverse_name(alice, "vault.eth")
+        assert wallet.display_name(ens, alice) == "vault.eth"
+
+    def test_display_name_falls_back_to_hex(self, chain, ens, alice, bob) -> None:
+        wallet = STOCK_WALLETS[0]
+        assert "…" in wallet.display_name(ens, bob)
+        # after a dropcatch, the old owner's display reverts to hex
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        ens.set_reverse_name(alice, "vault.eth")
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        shown = wallet.display_name(ens, alice)
+        assert shown != "vault.eth"
+        assert "…" in shown
+
+    def test_custom_window(self, chain, ens, alice, bob) -> None:
+        short = WalletProfile(
+            "Short", "1", custodial=False,
+            checks_recent_reregistration=True,
+            reregistration_warning_window_days=5,
+        )
+        ens.register(alice, "vault", YEAR, set_addr_to=alice)
+        chain.advance_time(YEAR + GRACE_PERIOD_SECONDS + 22 * DAY)
+        ens.register(bob, "vault", YEAR, set_addr_to=bob)
+        chain.advance_time(10 * DAY)
+        assert not short.resolve(ens, "vault.eth").warning_shown
