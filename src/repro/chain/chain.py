@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from ..obs.metrics import MetricsRegistry, global_registry
 from .account import AccountState
 from .block import GENESIS_PARENT, Block
 from .contract import CallContext, Contract
@@ -38,7 +39,11 @@ DEFAULT_GENESIS_TIMESTAMP = 1_577_836_800
 class Blockchain:
     """An in-process Ethereum-like ledger with contract support."""
 
-    def __init__(self, genesis_timestamp: int = DEFAULT_GENESIS_TIMESTAMP) -> None:
+    def __init__(
+        self,
+        genesis_timestamp: int = DEFAULT_GENESIS_TIMESTAMP,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.state = AccountState()
         self.blocks: list[Block] = []
         self.logs: list[Log] = []
@@ -47,6 +52,21 @@ class Blockchain:
         self._timestamp = genesis_timestamp
         self._executing: Receipt | None = None
         self._log_subscribers: list[Callable[[Log], None]] = []
+        # Hot-path instrumentation: samples are bound once here so each
+        # transaction costs a handful of float additions.
+        self.metrics = registry if registry is not None else global_registry()
+        self._m_blocks = self.metrics.counter(
+            "chain_blocks_total", "Blocks sealed"
+        )
+        tx_family = self.metrics.counter(
+            "chain_transactions_total", "Transactions executed", labels=("status",)
+        )
+        self._m_tx_ok = tx_family.labels(status="success")
+        self._m_tx_reverted = tx_family.labels(status="reverted")
+        self._m_logs = self.metrics.counter(
+            "chain_logs_total", "Event logs emitted (net of reverts)"
+        )
+        self._g_height = self.metrics.gauge("chain_height", "Latest block number")
         genesis = Block(number=0, timestamp=genesis_timestamp, parent_hash=GENESIS_PARENT)
         self.blocks.append(genesis)
 
@@ -212,6 +232,11 @@ class Blockchain:
         self.blocks.append(block)
         self._tip = block.hash()
         self.receipts_by_hash[tx_hash] = receipt
+        self._m_blocks.inc()
+        (self._m_tx_ok if receipt.success else self._m_tx_reverted).inc()
+        if receipt.logs:
+            self._m_logs.inc(len(receipt.logs))
+        self._g_height.set(block_number)
         return receipt
 
     _tip: Hash32 | None = None

@@ -93,6 +93,21 @@ def _keccak_f1600(state: list[int]) -> None:
 # both implementations to each other and to published digests.
 from ._f1600_unrolled import f1600_unrolled as _f1600_fast
 
+# Process-global hash-effort counters, bound once at import so the per-
+# digest overhead is a single float addition (the permutation itself is
+# thousands of integer operations).
+from ...obs.metrics import global_registry as _global_registry
+
+_M_DIGESTS = _global_registry().counter(
+    "keccak_digests_total", "Keccak-256 digests finalized"
+)
+_M_BYTES = _global_registry().counter(
+    "keccak_bytes_total", "Message bytes absorbed by Keccak-256"
+)
+_M_PERMUTATIONS = _global_registry().counter(
+    "keccak_permutations_total", "Keccak-f[1600] permutation calls"
+)
+
 
 class Keccak256:
     """Incremental Keccak-256 hasher with a hashlib-like interface.
@@ -117,6 +132,7 @@ class Keccak256:
         """Absorb more message bytes. Raises if the digest was already read."""
         if self._finalized is not None:
             raise ValueError("cannot update a finalized Keccak256 hasher")
+        _M_BYTES.inc(len(data))
         self._buffer.extend(data)
         while len(self._buffer) >= _RATE_BYTES:
             self._absorb_block(bytes(self._buffer[:_RATE_BYTES]))
@@ -127,6 +143,7 @@ class Keccak256:
             lane = int.from_bytes(block[lane_index * 8 : lane_index * 8 + 8], "little")
             self._state[lane_index] ^= lane
         self._state = _f1600_fast(self._state)
+        _M_PERMUTATIONS.inc()
 
     def digest(self) -> bytes:
         """Return the 32-byte digest; the hasher may not be updated afterwards."""
@@ -146,10 +163,12 @@ class Keccak256:
                     )
                     state[lane_index] ^= lane
                 state = _f1600_fast(state)
+                _M_PERMUTATIONS.inc()
             squeezed = b"".join(
                 state[lane_index].to_bytes(8, "little") for lane_index in range(4)
             )
             self._finalized = squeezed
+            _M_DIGESTS.inc()
         return self._finalized
 
     def hexdigest(self) -> str:

@@ -10,21 +10,51 @@ The workflows of the repository as one tool::
 Datasets are the JSONL layout of :mod:`repro.crawler.storage`; analyses
 use the default deterministic ETH-USD oracle, so a saved dataset
 re-analyzes to identical numbers anywhere.
+
+Every subcommand takes ``--metrics-out PATH`` (write the run's metrics
+and spans as JSON; ``.prom`` suffix switches to Prometheus text format)
+and ``--trace`` (print the span tree after the command). Progress goes
+to stderr through :mod:`repro.obs.log`; only results are printed to
+stdout, so piping stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
 from .core import build_report, train_reregistration_predictor
 from .crawler import load_dataset, save_dataset
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    get_logger,
+    global_registry,
+    prometheus_text,
+    write_run_report,
+)
 from .oracle import EthUsdOracle
 from .simulation import ScenarioConfig, run_scenario
 
 __all__ = ["main", "build_parser"]
+
+_log = get_logger("cli")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write run metrics (+ spans) to PATH as JSON"
+        " (.prom writes Prometheus text format)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree with per-stage durations",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,43 +101,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--domains", type=int, default=500)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+
+    for subparser in (simulate, analyze, predict, report, figures, sweep):
+        _add_obs_args(subparser)
     return parser
 
 
+class _RunObservability:
+    """One registry + tracer per CLI invocation, flushed at the end."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(registry=self.registry)
+        self._metrics_out: str | None = getattr(args, "metrics_out", None)
+        self._trace: bool = getattr(args, "trace", False)
+
+    def finish(self) -> None:
+        if self._metrics_out:
+            registries = [self.registry, global_registry()]
+            if self._metrics_out.endswith(".prom"):
+                from pathlib import Path
+
+                Path(self._metrics_out).write_text(prometheus_text(*registries))
+            else:
+                write_run_report(self._metrics_out, registries, self.tracer)
+            _log.info("metrics.written", path=self._metrics_out)
+        if self._trace:
+            print("--- trace ---")
+            for line in self.tracer.tree_lines():
+                print(line)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    started = time.perf_counter()
-    print(f"simulating {args.domains} domains (seed {args.seed}) ...")
-    world = run_scenario(ScenarioConfig(n_domains=args.domains, seed=args.seed))
-    dataset, crawl = world.run_crawl()
-    elapsed = time.perf_counter() - started
+    obs = _RunObservability(args)
+    _log.info("simulate.start", domains=args.domains, seed=args.seed)
+    with obs.tracer.span("simulate"):
+        world = run_scenario(
+            ScenarioConfig(n_domains=args.domains, seed=args.seed),
+            registry=obs.registry,
+            tracer=obs.tracer,
+        )
+        dataset, crawl = world.run_crawl(
+            registry=obs.registry, tracer=obs.tracer
+        )
+        with obs.tracer.span("simulate.save"):
+            directory = save_dataset(dataset, args.out)
+    simulate_span = obs.tracer.find("simulate")
+    elapsed = simulate_span.duration if simulate_span else 0.0
     print(f"  {crawl.domains_crawled} domains crawled"
           f" ({crawl.recovery_rate:.2%} recovery),"
           f" {crawl.transactions_crawled} transactions [{elapsed:.1f}s]")
-    directory = save_dataset(dataset, args.out)
     print(f"  dataset written to {directory}")
+    obs.finish()
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.descriptive import describe_dataset
 
-    dataset = load_dataset(args.dataset)
-    dataset.validate()
+    obs = _RunObservability(args)
+    with obs.tracer.span("analyze.load"):
+        dataset = load_dataset(args.dataset)
+        dataset.validate()
     print("--- dataset ---")
     for line in describe_dataset(dataset).lines():
         print(line)
     print("--- findings ---")
-    report = build_report(dataset, EthUsdOracle(), seed=args.control_seed)
+    report = build_report(
+        dataset,
+        EthUsdOracle(),
+        seed=args.control_seed,
+        registry=obs.registry,
+        tracer=obs.tracer,
+    )
     for line in report.lines():
         print(line)
+    obs.finish()
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset)
-    report = train_reregistration_predictor(
-        dataset, EthUsdOracle(), test_fraction=args.test_fraction, seed=args.seed
-    )
+    obs = _RunObservability(args)
+    with obs.tracer.span("predict"):
+        dataset = load_dataset(args.dataset)
+        report = train_reregistration_predictor(
+            dataset, EthUsdOracle(), test_fraction=args.test_fraction, seed=args.seed
+        )
     print(f"train/test: {report.train_size}/{report.metrics.test_size}")
     print(f"accuracy={report.metrics.accuracy:.1%}"
           f" precision={report.metrics.precision:.1%}"
@@ -116,36 +195,51 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print("strongest features:")
     for name, weight in report.top_features(6):
         print(f"  {name:28s} {weight:+.3f}")
+    obs.finish()
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    world = run_scenario(ScenarioConfig(n_domains=args.domains, seed=args.seed))
-    dataset, _ = world.run_crawl()
-    report = build_report(dataset, world.oracle)
+    obs = _RunObservability(args)
+    world = run_scenario(
+        ScenarioConfig(n_domains=args.domains, seed=args.seed),
+        registry=obs.registry,
+        tracer=obs.tracer,
+    )
+    dataset, _ = world.run_crawl(registry=obs.registry, tracer=obs.tracer)
+    report = build_report(
+        dataset, world.oracle, registry=obs.registry, tracer=obs.tracer
+    )
     for line in report.lines():
         print(line)
+    obs.finish()
     return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .core.export import export_figures
 
-    dataset = load_dataset(args.dataset)
-    paths = export_figures(dataset, EthUsdOracle(), args.out)
+    obs = _RunObservability(args)
+    with obs.tracer.span("figures"):
+        dataset = load_dataset(args.dataset)
+        paths = export_figures(dataset, EthUsdOracle(), args.out)
     for path in paths:
         print(path)
+    obs.finish()
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .core.robustness import run_sweep
 
-    sweep = run_sweep(
-        ScenarioConfig(n_domains=args.domains), seeds=args.seeds
-    )
+    obs = _RunObservability(args)
+    with obs.tracer.span("sweep"):
+        sweep = run_sweep(
+            ScenarioConfig(n_domains=args.domains), seeds=args.seeds
+        )
     for line in sweep.summary_lines():
         print(line)
+    obs.finish()
     return 0
 
 

@@ -1,7 +1,10 @@
 """Headline report: every §4 number from one dataset, in one pass.
 
 This is the library's "run the whole paper" entry point — benchmarks
-and the quickstart example print it next to the published values.
+and the quickstart example print it next to the published values. Each
+analysis pass runs inside its own tracer span (``analyze.<pass>``), so
+``repro analyze --trace`` shows where the time goes, and headline
+volumes are mirrored into the registry as ``analysis_*`` gauges.
 """
 
 from __future__ import annotations
@@ -9,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..oracle.ethusd import EthUsdOracle
 from .actors import ActorConcentration, actor_concentration
 from .comparison import FeatureComparison, compare_groups
@@ -78,25 +83,69 @@ class HeadlineReport:
 
 
 def build_report(
-    dataset: ENSDataset, oracle: EthUsdOracle, seed: int = 0
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    seed: int = 0,
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> HeadlineReport:
     """Run every analysis once, sharing the re-registration scan."""
-    events = find_reregistrations(dataset)
-    losses_all = detect_losses(
-        dataset, oracle, include_coinbase=True, events=events
-    )
-    losses_noncustodial = detect_losses(
-        dataset, oracle, include_coinbase=False, events=events
-    )
+    if tracer is None:
+        tracer = Tracer(registry=registry)
+    with tracer.span("analyze"):
+        with tracer.span("analyze.reregistrations"):
+            events = find_reregistrations(dataset)
+        with tracer.span("analyze.summary"):
+            summary = summarize(dataset)
+        with tracer.span("analyze.timing"):
+            delays = delay_distribution(dataset, events=events)
+        with tracer.span("analyze.actors"):
+            actors = actor_concentration(dataset, events=events)
+        with tracer.span("analyze.comparison"):
+            comparison = compare_groups(dataset, oracle, seed=seed)
+        with tracer.span("analyze.resale"):
+            resale = analyze_resale(dataset, oracle, events=events)
+        with tracer.span("analyze.losses"):
+            losses_all = detect_losses(
+                dataset, oracle, include_coinbase=True, events=events
+            )
+            losses_noncustodial = detect_losses(
+                dataset, oracle, include_coinbase=False, events=events
+            )
+        with tracer.span("analyze.hijackable"):
+            hijackable = find_hijackable(dataset, oracle)
+        with tracer.span("analyze.profit"):
+            profit = analyze_profit(
+                dataset, oracle, losses=losses_all, events=events
+            )
+        with tracer.span("analyze.typosquat"):
+            typosquat = find_typosquat_catches(dataset, oracle, events=events)
+    if registry is not None:
+        passes = registry.gauge(
+            "analysis_output_count",
+            "Headline volumes of the last analysis run",
+            labels=("result",),
+        )
+        passes.labels(result="reregistration_events").set(len(events))
+        passes.labels(result="misdirected_txs").set(
+            losses_all.misdirected_tx_count
+        )
+        passes.labels(result="hijackable_domains").set(
+            hijackable.domains_with_exposure
+        )
+        passes.labels(result="typosquat_candidates").set(
+            len(typosquat.candidates)
+        )
     return HeadlineReport(
-        summary=summarize(dataset),
-        delays=delay_distribution(dataset, events=events),
-        actors=actor_concentration(dataset, events=events),
-        comparison=compare_groups(dataset, oracle, seed=seed),
-        resale=analyze_resale(dataset, oracle, events=events),
+        summary=summary,
+        delays=delays,
+        actors=actors,
+        comparison=comparison,
+        resale=resale,
         losses_noncustodial=losses_noncustodial,
         losses_with_coinbase=losses_all,
-        hijackable=find_hijackable(dataset, oracle),
-        profit=analyze_profit(dataset, oracle, losses=losses_all, events=events),
-        typosquat=find_typosquat_catches(dataset, oracle, events=events),
+        hijackable=hijackable,
+        profit=profit,
+        typosquat=typosquat,
     )

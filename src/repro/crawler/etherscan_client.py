@@ -5,17 +5,26 @@ two operational hazards of the real Etherscan API: free-tier rate
 limiting (retry with exponential backoff against the shared virtual
 clock) and the 10,000-row result window (block-range cursoring for deep
 histories).
+
+Every operational number — requests, retries, terminal failures,
+backoff time, rows fetched — lives in a :class:`MetricsRegistry`; the
+legacy ``requests_made``-style attributes are read-through properties
+over those counters, so instrumented exports and the
+:class:`~repro.crawler.pipeline.CrawlReport` can never disagree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from ..datasets.schema import TxRecord
 from ..explorer.api import EtherscanAPI, MAX_TXLIST_WINDOW, RateLimitError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["EtherscanClient", "EtherscanCrawlError"]
+
+CLIENT_LABEL = "explorer"
 
 
 class EtherscanCrawlError(RuntimeError):
@@ -30,24 +39,70 @@ class EtherscanClient:
     page_size: int = 1000
     max_retries: int = 8
     initial_backoff_seconds: float = 0.25
-    requests_made: int = field(default=0, init=False)
-    retries_performed: int = field(default=0, init=False)
+    registry: MetricsRegistry | None = None
 
-    def _call_with_backoff(self, **kwargs) -> list[dict[str, object]]:
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "crawler_requests_total", "API calls issued", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._retries = self.registry.counter(
+            "crawler_retries_total", "Rate-limited calls retried", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._failures = self.registry.counter(
+            "crawler_failures_total",
+            "Calls abandoned after exhausting the retry budget",
+            labels=("client",),
+        ).labels(client=CLIENT_LABEL)
+        self._rows = self.registry.counter(
+            "crawler_rows_total", "Rows fetched", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._backoff_seconds = self.registry.counter(
+            "crawler_backoff_seconds_total",
+            "Total backoff sleep against the API clock",
+            labels=("client",),
+        ).labels(client=CLIENT_LABEL)
+
+    # -- registry-backed effort counters ------------------------------------
+
+    @property
+    def requests_made(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def retries_performed(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def failures(self) -> int:
+        """Calls that exhausted the retry budget and raised."""
+        return int(self._failures.value)
+
+    # -- backoff -------------------------------------------------------------
+
+    def _with_backoff(self, call: Callable[..., list], error: str, **kwargs) -> list:
         backoff = self.initial_backoff_seconds
         for attempt in range(self.max_retries + 1):
             try:
-                self.requests_made += 1
-                return self.api.txlist(**kwargs)
+                self._requests.inc()
+                return call(**kwargs)
             except RateLimitError:
                 if attempt == self.max_retries:
-                    raise EtherscanCrawlError(
-                        f"rate limited {self.max_retries + 1} times in a row"
-                    )
-                self.retries_performed += 1
+                    self._failures.inc()
+                    raise EtherscanCrawlError(error)
+                self._retries.inc()
+                self._backoff_seconds.inc(backoff)
                 self.api.clock.sleep(backoff)
                 backoff *= 2
         raise AssertionError("unreachable")
+
+    def _call_with_backoff(self, **kwargs) -> list[dict[str, object]]:
+        return self._with_backoff(
+            self.api.txlist,
+            f"rate limited {self.max_retries + 1} times in a row",
+            **kwargs,
+        )
 
     def fetch_transactions(self, address: str) -> list[TxRecord]:
         """Full history of one address, oldest first.
@@ -74,6 +129,7 @@ class EtherscanClient:
                     offset=self.page_size,
                     sort="asc",
                 )
+                self._rows.inc(len(rows))
                 for row in rows:
                     record = TxRecord.from_api_row(row)
                     if record.tx_hash not in seen:
@@ -101,15 +157,10 @@ class EtherscanClient:
 
     def fetch_label_category(self, category: str) -> list[str]:
         """Address list for a label category (custodial/Coinbase seeds)."""
-        backoff = self.initial_backoff_seconds
-        for attempt in range(self.max_retries + 1):
-            try:
-                self.requests_made += 1
-                return self.api.labels_in_category(category)
-            except RateLimitError:
-                if attempt == self.max_retries:
-                    raise EtherscanCrawlError("rate limited fetching labels")
-                self.retries_performed += 1
-                self.api.clock.sleep(backoff)
-                backoff *= 2
-        raise AssertionError("unreachable")
+        rows = self._with_backoff(
+            self.api.labels_in_category,
+            "rate limited fetching labels",
+            category=category,
+        )
+        self._rows.inc(len(rows))
+        return rows

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..datasets.schema import MarketEventRecord
 from ..marketplace.api import OpenSeaAPI
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["OpenSeaClient"]
+
+CLIENT_LABEL = "opensea"
 
 
 @dataclass
@@ -16,15 +19,30 @@ class OpenSeaClient:
     """Cursor-paginating events crawler."""
 
     api: OpenSeaAPI
-    requests_made: int = field(default=0, init=False)
+    registry: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "crawler_requests_total", "API calls issued", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._rows = self.registry.counter(
+            "crawler_rows_total", "Rows fetched", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+
+    @property
+    def requests_made(self) -> int:
+        return int(self._requests.value)
 
     def fetch_token_events(self, token_id: str) -> list[MarketEventRecord]:
         """All events for one ENS token (labelhash), oldest first."""
         events: list[MarketEventRecord] = []
         cursor = 0
         while True:
-            self.requests_made += 1
+            self._requests.inc()
             page = self.api.asset_events(token_id=token_id, cursor=cursor)
+            self._rows.inc(len(page["asset_events"]))
             events.extend(
                 MarketEventRecord.from_api_row(row) for row in page["asset_events"]
             )

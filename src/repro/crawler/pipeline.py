@@ -11,19 +11,32 @@ collection flow:
 
 and assembles a validated :class:`ENSDataset` plus a
 :class:`CrawlReport` with the §3 coverage numbers.
+
+The report's effort fields are read back from the clients'
+registry-backed counters — the registry is the source of truth, the
+report a snapshot of it — and every report field is mirrored into the
+pipeline registry as a ``crawl_*`` gauge so a single metrics export
+carries the full §3 accounting.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
 from ..explorer.labels import CATEGORY_COINBASE, CATEGORY_CUSTODIAL_EXCHANGE
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .etherscan_client import EtherscanClient
 from .opensea_client import OpenSeaClient
 from .subgraph_client import SubgraphClient
 
 __all__ = ["CrawlReport", "DataCollectionPipeline"]
+
+_log = get_logger("crawler.pipeline")
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,12 +53,25 @@ class CrawlReport:
     explorer_requests: int
     explorer_retries: int
     opensea_requests: int
+    explorer_failures: int = 0
 
     @property
     def recovery_rate(self) -> float:
-        """Fraction of ground-truth domains the crawl recovered."""
+        """Fraction of ground-truth domains the crawl recovered.
+
+        An empty universe (nothing crawled, nothing missing) is *not*
+        perfect recovery — there was nothing to recover — so it returns
+        ``float("nan")`` rather than a misleading ``1.0``.
+        """
         total = self.domains_crawled + self.domains_missing
-        return self.domains_crawled / total if total else 1.0
+        return self.domains_crawled / total if total else math.nan
+
+    def as_dict(self) -> dict[str, float | None]:
+        """Every field plus the derived recovery rate, JSON-ready."""
+        payload: dict[str, float | None] = dataclasses.asdict(self)
+        rate = self.recovery_rate
+        payload["recovery_rate"] = None if math.isnan(rate) else rate
+        return payload
 
 
 @dataclass
@@ -55,59 +81,99 @@ class DataCollectionPipeline:
     subgraph_client: SubgraphClient
     etherscan_client: EtherscanClient
     opensea_client: OpenSeaClient
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        if self.tracer is None:
+            self.tracer = Tracer()
 
     def run(self, crawl_timestamp: int | None = None) -> tuple[ENSDataset, CrawlReport]:
         """Execute the full pipeline; returns (dataset, report)."""
         dataset = ENSDataset()
+        tracer = self.tracer
 
-        # 1. domains + registration history
-        domains = self.subgraph_client.fetch_all_domains()
-        for domain in domains:
-            dataset.add_domain(domain)
+        with tracer.span("crawl"):
+            # 1. domains + registration history
+            with tracer.span("crawl.1_domains"):
+                domains = self.subgraph_client.fetch_all_domains()
+                for domain in domains:
+                    dataset.add_domain(domain)
 
-        # 2. wallet universe
-        wallets = sorted(dataset.wallet_addresses())
+            # 2. wallet universe
+            with tracer.span("crawl.2_wallets"):
+                wallets = sorted(dataset.wallet_addresses())
 
-        # 3. transaction histories
-        dataset.add_transactions(self.etherscan_client.fetch_many(wallets))
+            # 3. transaction histories
+            with tracer.span("crawl.3_transactions"):
+                dataset.add_transactions(self.etherscan_client.fetch_many(wallets))
 
-        # 4. marketplace events for names with >1 registration cycle —
-        #    the candidates of the re-sale analysis
-        rereg_tokens = sorted(
-            domain.labelhash
-            for domain in domains
-            if len(domain.unique_registrants) > 1
-        )
-        dataset.add_market_events(
-            self.opensea_client.fetch_events_for_tokens(rereg_tokens)
-        )
+            # 4. marketplace events for names with >1 registration cycle —
+            #    the candidates of the re-sale analysis
+            with tracer.span("crawl.4_market_events"):
+                rereg_tokens = sorted(
+                    domain.labelhash
+                    for domain in domains
+                    if len(domain.unique_registrants) > 1
+                )
+                dataset.add_market_events(
+                    self.opensea_client.fetch_events_for_tokens(rereg_tokens)
+                )
 
-        # 5. label lists
-        dataset.custodial_addresses = set(
-            self.etherscan_client.fetch_label_category(CATEGORY_CUSTODIAL_EXCHANGE)
-        )
-        dataset.coinbase_addresses = set(
-            self.etherscan_client.fetch_label_category(CATEGORY_COINBASE)
-        )
+            # 5. label lists
+            with tracer.span("crawl.5_labels"):
+                dataset.custodial_addresses = set(
+                    self.etherscan_client.fetch_label_category(
+                        CATEGORY_CUSTODIAL_EXCHANGE
+                    )
+                )
+                dataset.coinbase_addresses = set(
+                    self.etherscan_client.fetch_label_category(CATEGORY_COINBASE)
+                )
 
-        if crawl_timestamp is not None:
-            dataset.crawl_timestamp = crawl_timestamp
-        dataset.validate()
+            with tracer.span("crawl.6_validate"):
+                if crawl_timestamp is not None:
+                    dataset.crawl_timestamp = crawl_timestamp
+                dataset.validate()
 
-        report = CrawlReport(
-            domains_crawled=dataset.domain_count,
-            domains_missing=len(
-                self.subgraph_client.endpoint.missing_domain_ids()
-            ),
-            subdomains_total=sum(
-                domain.subdomain_count for domain in dataset.iter_domains()
-            ),
-            wallet_addresses=len(wallets),
-            transactions_crawled=dataset.transaction_count,
-            market_events_crawled=len(dataset.market_events),
-            subgraph_pages=self.subgraph_client.pages_fetched,
-            explorer_requests=self.etherscan_client.requests_made,
-            explorer_retries=self.etherscan_client.retries_performed,
-            opensea_requests=self.opensea_client.requests_made,
+            report = CrawlReport(
+                domains_crawled=dataset.domain_count,
+                domains_missing=len(
+                    self.subgraph_client.endpoint.missing_domain_ids()
+                ),
+                subdomains_total=sum(
+                    domain.subdomain_count for domain in dataset.iter_domains()
+                ),
+                wallet_addresses=len(wallets),
+                transactions_crawled=dataset.transaction_count,
+                market_events_crawled=len(dataset.market_events),
+                subgraph_pages=self.subgraph_client.pages_fetched,
+                explorer_requests=self.etherscan_client.requests_made,
+                explorer_retries=self.etherscan_client.retries_performed,
+                opensea_requests=self.opensea_client.requests_made,
+                explorer_failures=self.etherscan_client.failures,
+            )
+            self._publish_report(report)
+        _log.info(
+            "crawl.finished",
+            domains=report.domains_crawled,
+            missing=report.domains_missing,
+            transactions=report.transactions_crawled,
+            explorer_requests=report.explorer_requests,
+            explorer_retries=report.explorer_retries,
         )
         return dataset, report
+
+    def _publish_report(self, report: CrawlReport) -> None:
+        """Mirror every report field into the registry as crawl_* gauges."""
+        assert self.registry is not None
+        for name, value in dataclasses.asdict(report).items():
+            self.registry.gauge(
+                f"crawl_{name}", f"CrawlReport.{name} of the last pipeline run"
+            ).set(value)
+        rate = report.recovery_rate
+        self.registry.gauge(
+            "crawl_recovery_rate", "CrawlReport.recovery_rate of the last run"
+        ).set(rate if not math.isnan(rate) else math.nan)

@@ -9,13 +9,16 @@ paper's "34K names unrecoverable due to API limitations".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..datasets.schema import DomainRecord, RegistrationRecord
 from ..indexer.endpoint import MAX_FIRST, SubgraphEndpoint
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["SubgraphClient", "SubgraphCrawlError"]
+
+CLIENT_LABEL = "subgraph"
 
 _DOMAIN_QUERY_TEMPLATE = """
 {{
@@ -43,23 +46,59 @@ class SubgraphClient:
     endpoint: SubgraphEndpoint
     page_size: int = MAX_FIRST
     max_retries: int = 3
-    pages_fetched: int = field(default=0, init=False)
+    registry: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.page_size <= MAX_FIRST:
             raise ValueError(f"page_size must be within 1..{MAX_FIRST}")
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "crawler_requests_total", "API calls issued", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._pages = self.registry.counter(
+            "crawler_pages_total", "Result pages fetched", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._retries = self.registry.counter(
+            "crawler_retries_total", "Rate-limited calls retried", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+        self._failures = self.registry.counter(
+            "crawler_failures_total",
+            "Calls abandoned after exhausting the retry budget",
+            labels=("client",),
+        ).labels(client=CLIENT_LABEL)
+        self._rows = self.registry.counter(
+            "crawler_rows_total", "Rows fetched", labels=("client",)
+        ).labels(client=CLIENT_LABEL)
+
+    # -- registry-backed effort counters ------------------------------------
+
+    @property
+    def pages_fetched(self) -> int:
+        return int(self._pages.value)
+
+    @property
+    def failures(self) -> int:
+        """Queries abandoned after the retry budget."""
+        return int(self._failures.value)
 
     # -- raw paging ----------------------------------------------------------
 
     def _fetch_page(self, cursor: str) -> list[dict[str, Any]]:
         query = _DOMAIN_QUERY_TEMPLATE.format(first=self.page_size, cursor=cursor)
         last_error = "no attempts made"
-        for _ in range(self.max_retries):
+        for attempt in range(self.max_retries):
+            self._requests.inc()
             response = self.endpoint.query(query)
             if "errors" not in response:
-                self.pages_fetched += 1
-                return response["data"]["domains"]
+                self._pages.inc()
+                rows = response["data"]["domains"]
+                self._rows.inc(len(rows))
+                return rows
             last_error = response["errors"][0]["message"]
+            if attempt < self.max_retries - 1:
+                self._retries.inc()
+        self._failures.inc()
         raise SubgraphCrawlError(f"subgraph query failed: {last_error}")
 
     # -- record conversion -------------------------------------------------------

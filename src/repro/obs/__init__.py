@@ -1,0 +1,57 @@
+"""Observability: metrics, span tracing, structured logging, exporters.
+
+The telemetry layer under every stage of the crawl → simulate → analyze
+flow. §3's coverage claims (99.9% recovery, 9.7M transactions, the
+retry behaviour against Etherscan's free tier) are operational numbers;
+this package is where they are counted, timed, and exported — the
+:class:`CrawlReport` is *built from* these counters, so the report and
+the metrics can never drift apart.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` (counters,
+  gauges, histograms, labels) plus the process :func:`global_registry`,
+* :mod:`repro.obs.tracing` — nested :class:`Tracer` spans over wall or
+  virtual clocks,
+* :mod:`repro.obs.exporters` — Prometheus text, JSON run reports,
+  human-readable span trees,
+* :mod:`repro.obs.log` — ``event key=value`` structured logging
+  (``print()`` is banned outside ``cli.py`` and this package).
+"""
+
+from .exporters import (
+    metrics_to_dict,
+    prometheus_text,
+    span_tree_lines,
+    write_run_report,
+)
+from .log import StructuredLogger, configure, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    global_registry,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "global_registry",
+    "metrics_to_dict",
+    "prometheus_text",
+    "span_tree_lines",
+    "write_run_report",
+]

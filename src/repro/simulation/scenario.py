@@ -47,6 +47,9 @@ from ..indexer.endpoint import SubgraphEndpoint
 from ..indexer.subgraph import ENSSubgraph
 from ..marketplace.api import OpenSeaAPI
 from ..marketplace.market import OpenSeaMarket
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..oracle.ethusd import EthUsdOracle, timestamp_of_day
 from .agents import (
     SENDER_COINBASE,
@@ -62,6 +65,8 @@ from .config import ScenarioConfig
 from .names import NameGenerator
 
 __all__ = ["ScenarioWorld", "run_scenario"]
+
+_log = get_logger("simulation.scenario")
 
 _YEAR_DAYS = 365
 _OWNER_RECOVERY_PROB = 0.06  # owners who buy their own name back post-grace
@@ -92,29 +97,68 @@ class ScenarioWorld:
     truth: GroundTruth
     resolution_log: list[ResolutionRecord]
     end_timestamp: int
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
 
-    def build_pipeline(self) -> DataCollectionPipeline:
-        """Fresh crawler clients wired to this world's endpoints."""
+    def build_pipeline(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> DataCollectionPipeline:
+        """Fresh crawler clients wired to this world's endpoints.
+
+        All three clients and the pipeline share one registry (fresh by
+        default), so the exported crawler counters are exactly the ones
+        the resulting :class:`CrawlReport` is built from.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        tracer = tracer if tracer is not None else Tracer(registry=registry)
         return DataCollectionPipeline(
-            subgraph_client=SubgraphClient(self.endpoint),
-            etherscan_client=EtherscanClient(self.etherscan_api),
-            opensea_client=OpenSeaClient(self.opensea_api),
+            subgraph_client=SubgraphClient(self.endpoint, registry=registry),
+            etherscan_client=EtherscanClient(self.etherscan_api, registry=registry),
+            opensea_client=OpenSeaClient(self.opensea_api, registry=registry),
+            registry=registry,
+            tracer=tracer,
         )
 
-    def run_crawl(self) -> tuple[ENSDataset, CrawlReport]:
+    def run_crawl(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> tuple[ENSDataset, CrawlReport]:
         """Run the Figure-1 pipeline against this world."""
-        return self.build_pipeline().run(crawl_timestamp=self.end_timestamp)
+        pipeline = self.build_pipeline(registry=registry, tracer=tracer)
+        return pipeline.run(crawl_timestamp=self.end_timestamp)
 
 
 class _ScenarioEngine:
     """Mutable state of one scenario run (constructed via run_scenario)."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(registry=self.registry)
+        # one pre-bound counter per event kind: the day loop is the
+        # simulation's hottest path, so no label lookup per event
+        events = self.registry.counter(
+            "scenario_events_total", "Scenario events handled", labels=("kind",)
+        )
+        self._event_counters = {
+            kind: events.labels(kind=kind) for kind in self._HANDLERS
+        }
+        self._days_gauge = self.registry.gauge(
+            "scenario_days_simulated", "Days stepped through by the event loop"
+        )
         self.rng = random.Random(config.seed)
         self.oracle = EthUsdOracle()
         self.chain = Blockchain(
-            genesis_timestamp=timestamp_of_day(config.start) - 40 * SECONDS_PER_DAY
+            genesis_timestamp=timestamp_of_day(config.start) - 40 * SECONDS_PER_DAY,
+            registry=self.registry,
         )
         self.ens = ENSDeployment.deploy(self.chain, eth_usd=self.oracle)
         self.subgraph = ENSSubgraph(self.ens)
@@ -688,25 +732,40 @@ class _ScenarioEngine:
     }
 
     def run(self) -> ScenarioWorld:
-        self._setup_exchanges()
-        self._setup_dropcatchers()
-        self._setup_domains()
-        self._setup_noise()
-        for day in range(self.start_day, self.end_day + 1):
-            day_timestamp = day * SECONDS_PER_DAY
-            if day_timestamp > self.chain.now:
-                self.chain.set_time(day_timestamp)
-            queue = self.events.pop(day, None)
-            if not queue:
-                continue
-            # handlers may append same-day events; iterate by index
-            position = 0
-            while position < len(queue):
-                event = queue[position]
-                position += 1
-                handler = getattr(self, self._HANDLERS[event[0]])
-                handler(*event[1:])
-        self.explorer_db.sync()
+        tracer = self.tracer
+        with tracer.span("scenario"):
+            with tracer.span("scenario.setup"):
+                self._setup_exchanges()
+                self._setup_dropcatchers()
+                self._setup_domains()
+                self._setup_noise()
+            with tracer.span("scenario.event_loop"):
+                counters = self._event_counters
+                for day in range(self.start_day, self.end_day + 1):
+                    day_timestamp = day * SECONDS_PER_DAY
+                    if day_timestamp > self.chain.now:
+                        self.chain.set_time(day_timestamp)
+                    queue = self.events.pop(day, None)
+                    if not queue:
+                        continue
+                    # handlers may append same-day events; iterate by index
+                    position = 0
+                    while position < len(queue):
+                        event = queue[position]
+                        position += 1
+                        handler = getattr(self, self._HANDLERS[event[0]])
+                        handler(*event[1:])
+                        counters[event[0]].inc()
+                self._days_gauge.set(self.end_day - self.start_day + 1)
+            with tracer.span("scenario.explorer_sync"):
+                self.explorer_db.sync()
+        _log.info(
+            "scenario.finished",
+            domains=self.config.n_domains,
+            seed=self.config.seed,
+            blocks=self.chain.height,
+            catches=len(self.truth.catches),
+        )
         return ScenarioWorld(
             config=self.config,
             chain=self.chain,
@@ -724,9 +783,23 @@ class _ScenarioEngine:
             truth=self.truth,
             resolution_log=self.resolution_log,
             end_timestamp=self.chain.now,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
 
-def run_scenario(config: ScenarioConfig | None = None) -> ScenarioWorld:
-    """Build and run one ecosystem; returns the finished world."""
-    return _ScenarioEngine(config or ScenarioConfig()).run()
+def run_scenario(
+    config: ScenarioConfig | None = None,
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> ScenarioWorld:
+    """Build and run one ecosystem; returns the finished world.
+
+    ``registry``/``tracer`` collect the run's chain counters, per-kind
+    event counts, and phase spans; fresh instances are created (and
+    exposed as ``world.registry`` / ``world.tracer``) when omitted.
+    """
+    return _ScenarioEngine(
+        config or ScenarioConfig(), registry=registry, tracer=tracer
+    ).run()

@@ -104,8 +104,20 @@ class TestEtherscanClient:
         # a clock that never advances would loop forever; cap retries small
         client = EtherscanClient(etherscan, page_size=10, max_retries=0)
         client.api.rate_limit_per_second = 0
+        assert client.failures == 0
         with pytest.raises(EtherscanCrawlError):
             client.fetch_transactions(a.hex)
+        # the terminal failure is recorded, not silently dropped
+        assert client.failures == 1
+        assert client.requests_made == 1
+
+    def test_label_fetch_failure_recorded(self, api) -> None:
+        etherscan, _ = api
+        client = EtherscanClient(etherscan, max_retries=0)
+        client.api.rate_limit_per_second = 0
+        with pytest.raises(EtherscanCrawlError):
+            client.fetch_label_category("custodial-exchange")
+        assert client.failures == 1
 
     def test_fetch_many_deduplicates(self, api) -> None:
         etherscan, a = api

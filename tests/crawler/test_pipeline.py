@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.crawler import CrawlReport
+from repro.obs import MetricsRegistry, Tracer
 from repro.simulation import ScenarioConfig, run_scenario
 
 
@@ -28,14 +31,27 @@ class TestCrawlReport:
         )
         assert report.recovery_rate == pytest.approx(0.99)
 
-    def test_recovery_rate_empty(self) -> None:
+    def test_recovery_rate_empty_universe_is_nan(self) -> None:
+        # zero crawled + zero missing is "nothing to recover", not
+        # "perfect recovery" — the rate must not read as 100%
         report = CrawlReport(
             domains_crawled=0, domains_missing=0, subdomains_total=0,
             wallet_addresses=0, transactions_crawled=0,
             market_events_crawled=0, subgraph_pages=0,
             explorer_requests=0, explorer_retries=0, opensea_requests=0,
         )
+        assert math.isnan(report.recovery_rate)
+        assert report.as_dict()["recovery_rate"] is None
+
+    def test_perfect_recovery_is_exactly_one(self) -> None:
+        report = CrawlReport(
+            domains_crawled=5, domains_missing=0, subdomains_total=0,
+            wallet_addresses=0, transactions_crawled=0,
+            market_events_crawled=0, subgraph_pages=0,
+            explorer_requests=0, explorer_retries=0, opensea_requests=0,
+        )
         assert report.recovery_rate == 1.0
+        assert report.as_dict()["recovery_rate"] == 1.0
 
 
 class TestPipelineRun:
@@ -74,3 +90,50 @@ class TestPipelineRun:
         dataset_second, _ = world.run_crawl()
         assert dataset_second.domain_count == dataset_first.domain_count
         assert dataset_second.transaction_count == dataset_first.transaction_count
+
+
+class TestPipelineObservability:
+    def test_report_equals_registry_counters(self, world) -> None:
+        # the report is *built from* the registry: every effort field
+        # must equal the corresponding counter, and every field is also
+        # mirrored back as a crawl_* gauge
+        registry = MetricsRegistry()
+        _, report = world.run_crawl(registry=registry)
+        assert registry.value(
+            "crawler_requests_total", client="explorer"
+        ) == report.explorer_requests
+        assert registry.value(
+            "crawler_retries_total", client="explorer"
+        ) == report.explorer_retries
+        assert registry.value(
+            "crawler_failures_total", client="explorer"
+        ) == report.explorer_failures
+        assert registry.value(
+            "crawler_pages_total", client="subgraph"
+        ) == report.subgraph_pages
+        assert registry.value(
+            "crawler_requests_total", client="opensea"
+        ) == report.opensea_requests
+        for name, value in report.as_dict().items():
+            if name == "recovery_rate":
+                continue
+            assert registry.value(f"crawl_{name}") == value
+
+    def test_rows_counter_covers_transactions(self, world) -> None:
+        registry = MetricsRegistry()
+        dataset, _ = world.run_crawl(registry=registry)
+        # fetched explorer rows ≥ unique stored transactions (dedupe)
+        assert registry.value(
+            "crawler_rows_total", client="explorer"
+        ) >= dataset.transaction_count
+
+    def test_stage_spans_nest_under_crawl(self, world) -> None:
+        tracer = Tracer()
+        world.run_crawl(tracer=tracer)
+        root = tracer.find("crawl")
+        assert root is not None and root.duration is not None
+        names = [child.name for child in root.children]
+        assert names == [
+            "crawl.1_domains", "crawl.2_wallets", "crawl.3_transactions",
+            "crawl.4_market_events", "crawl.5_labels", "crawl.6_validate",
+        ]

@@ -1,0 +1,110 @@
+"""Exporters: Prometheus golden file, JSON run reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics_to_dict,
+    prometheus_text,
+    write_run_report,
+)
+
+# The exporter promises deterministic output: families sorted by name,
+# samples by label values, canonical float formatting. This golden text
+# is that promise — update it only deliberately.
+GOLDEN_PROMETHEUS = """\
+# HELP crawler_requests_total API calls issued
+# TYPE crawler_requests_total counter
+crawler_requests_total{client="explorer"} 7
+crawler_requests_total{client="subgraph"} 3
+# HELP queue_depth Items waiting
+# TYPE queue_depth gauge
+queue_depth 2.5
+# HELP stage_seconds Stage durations
+# TYPE stage_seconds histogram
+stage_seconds_bucket{le="0.1"} 1
+stage_seconds_bucket{le="1"} 3
+stage_seconds_bucket{le="+Inf"} 4
+stage_seconds_sum 7.85
+stage_seconds_count 4
+"""
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "crawler_requests_total", "API calls issued", labels=("client",)
+    )
+    requests.labels(client="subgraph").inc(3)
+    requests.labels(client="explorer").inc(7)
+    registry.gauge("queue_depth", "Items waiting").set(2.5)
+    histogram = registry.histogram(
+        "stage_seconds", "Stage durations", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.3, 0.5, 7.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self) -> None:
+        assert prometheus_text(_golden_registry()) == GOLDEN_PROMETHEUS
+
+    def test_is_deterministic_across_insert_order(self) -> None:
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "crawler_requests_total", "API calls issued", labels=("client",)
+        )
+        # reversed insertion order vs the golden registry
+        requests.labels(client="explorer").inc(7)
+        requests.labels(client="subgraph").inc(3)
+        lines = prometheus_text(registry).splitlines()
+        assert lines[2] == 'crawler_requests_total{client="explorer"} 7'
+        assert lines[3] == 'crawler_requests_total{client="subgraph"} 3'
+
+    def test_nan_gauge_rendered_as_nan(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(float("nan"))
+        assert "rate NaN" in prometheus_text(registry)
+
+
+class TestMetricsToDict:
+    def test_merges_registries(self) -> None:
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_total").inc()
+        second.counter("b_total").inc(2)
+        merged = metrics_to_dict(first, second)
+        assert merged["a_total"]["samples"][0]["value"] == 1.0
+        assert merged["b_total"]["samples"][0]["value"] == 2.0
+
+    def test_non_finite_values_become_none(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(float("nan"))
+        registry.histogram("empty_seconds")
+        snapshot = metrics_to_dict(registry)
+        assert snapshot["rate"]["samples"][0]["value"] is None
+        assert snapshot["empty_seconds"]["samples"][0]["p50"] is None
+
+
+class TestWriteRunReport:
+    def test_writes_strict_json_with_spans(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("rate").set(float("nan"))
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        path = write_run_report(
+            tmp_path / "out" / "metrics.json",
+            registry,
+            tracer,
+            extra={"crawl_report": {"domains": 5}},
+        )
+        payload = json.loads(path.read_text())  # strict JSON must parse
+        assert payload["metrics"]["a_total"]["samples"][0]["value"] == 1.0
+        assert payload["metrics"]["rate"]["samples"][0]["value"] is None
+        assert payload["spans"][0]["name"] == "stage"
+        assert payload["crawl_report"] == {"domains": 5}

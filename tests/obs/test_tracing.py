@@ -1,0 +1,154 @@
+"""Tracer: span nesting, exception handling, wall vs virtual clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explorer import VirtualClock
+from repro.obs import MetricsRegistry, Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        (outer,) = tracer.roots
+        assert [child.name for child in outer.children] == ["inner_a", "inner_b"]
+        assert outer.children[1].children[0].name == "leaf"
+
+    def test_siblings_after_close_become_roots(self) -> None:
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_innermost(self) -> None:
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_find_depth_first(self) -> None:
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("target"):
+                pass
+        assert tracer.find("target") is tracer.roots[0].children[0]
+        assert tracer.find("missing") is None
+
+    def test_attributes_recorded(self) -> None:
+        tracer = Tracer()
+        with tracer.span("stage", rows=42):
+            pass
+        assert tracer.roots[0].attributes == {"rows": 42}
+
+
+class TestExceptions:
+    def test_error_recorded_span_closed_exception_propagates(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        failing = tracer.find("failing")
+        assert failing.error == "ValueError: boom"
+        assert failing.duration is not None
+        # the stack unwound: both spans closed, nothing left open
+        assert tracer.current is None
+        assert tracer.find("outer").duration is not None
+
+    def test_sibling_after_failure_attaches_correctly(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            try:
+                with tracer.span("bad"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+            with tracer.span("good"):
+                pass
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["bad", "good"]
+        assert outer.children[1].error is None
+
+
+class TestClocks:
+    def test_wall_clock_durations_are_nonnegative(self) -> None:
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        assert tracer.roots[0].duration >= 0.0
+
+    def test_virtual_clock_measures_simulated_time(self) -> None:
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("backoff"):
+            clock.sleep(0.25)
+            clock.sleep(0.5)
+        assert tracer.roots[0].duration == pytest.approx(0.75)
+
+    def test_virtual_clock_nested_exact(self) -> None:
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("outer"):
+            clock.sleep(1.0)
+            with tracer.span("inner"):
+                clock.sleep(2.0)
+            clock.sleep(4.0)
+        assert tracer.find("outer").duration == pytest.approx(7.0)
+        assert tracer.find("inner").duration == pytest.approx(2.0)
+
+
+class TestRegistryIntegration:
+    def test_durations_feed_span_histogram(self) -> None:
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock.now, registry=registry)
+        for _ in range(3):
+            with tracer.span("stage"):
+                clock.sleep(1.0)
+        family = registry.get("span_duration_seconds")
+        histogram = family.labels(span="stage")
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(3.0)
+
+
+class TestRendering:
+    def test_tree_lines_indent_and_time(self) -> None:
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                clock.sleep(1.5)
+        lines = tracer.tree_lines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "1.500s" in lines[1]
+
+    def test_error_marker_rendered(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage"):
+                raise RuntimeError("bad")
+        assert "[error: RuntimeError: bad]" in tracer.tree_lines()[0]
+
+    def test_as_dict_shape(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        (entry,) = tracer.as_dict()
+        assert entry["name"] == "outer"
+        assert entry["attributes"] == {"k": "v"}
+        assert entry["children"][0]["name"] == "inner"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -63,6 +65,88 @@ class TestReport:
         assert main(["report", "--domains", "200", "--seed", "3"]) == 0
         output = capsys.readouterr().out
         assert "domains: " in output
+
+
+class TestObservabilityFlags:
+    def test_simulate_metrics_out_matches_crawl_report(self, tmp_path, capsys) -> None:
+        out = tmp_path / "crawl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate", "--domains", "200", "--seed", "7",
+                "--out", str(out), "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(metrics_path.read_text())
+        metrics = payload["metrics"]
+
+        def counter(name: str, client: str) -> float:
+            for sample in metrics[name]["samples"]:
+                if sample["labels"].get("client") == client:
+                    return sample["value"]
+            return 0.0
+
+        def gauge(name: str) -> float:
+            return metrics[name]["samples"][0]["value"]
+
+        # crawler counters must mirror the CrawlReport gauges exactly
+        assert counter("crawler_requests_total", "explorer") == gauge(
+            "crawl_explorer_requests"
+        )
+        assert counter("crawler_retries_total", "explorer") == gauge(
+            "crawl_explorer_retries"
+        )
+        assert counter("crawler_failures_total", "explorer") == gauge(
+            "crawl_explorer_failures"
+        )
+        assert counter("crawler_pages_total", "subgraph") == gauge(
+            "crawl_subgraph_pages"
+        )
+        assert counter("crawler_requests_total", "opensea") == gauge(
+            "crawl_opensea_requests"
+        )
+        # spans from the simulate run are captured too
+        span_names = {span["name"] for span in payload["spans"]}
+        assert "simulate" in span_names
+
+    def test_simulate_prom_export(self, tmp_path) -> None:
+        out = tmp_path / "crawl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "simulate", "--domains", "150", "--seed", "3",
+                "--out", str(out), "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE crawler_requests_total counter" in text
+        assert 'crawler_requests_total{client="explorer"}' in text
+
+    def test_analyze_trace_prints_span_tree(self, saved_dataset, capsys) -> None:
+        assert main(["analyze", str(saved_dataset), "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "--- trace ---" in output
+        assert "analyze" in output
+        assert "analyze.reregistrations" in output
+        assert "s" in output  # durations rendered
+
+    def test_analyze_metrics_out_has_analysis_gauges(
+        self, saved_dataset, tmp_path
+    ) -> None:
+        metrics_path = tmp_path / "analyze.json"
+        code = main(
+            ["analyze", str(saved_dataset), "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())["metrics"]
+        results = {
+            sample["labels"]["result"]
+            for sample in metrics["analysis_output_count"]["samples"]
+        }
+        assert "reregistration_events" in results
+        assert "typosquat_candidates" in results
 
 
 class TestSweep:

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Fail if library code calls ``print()``.
+
+Library output must go through ``repro.obs.log`` (structured, stderr)
+so that piped CLI output stays machine-readable. Exempt: ``cli.py``
+(owns the user-facing stdout report) and the obs package itself.
+
+Tokenize-based rather than grep so that ``print`` inside strings,
+comments, and docstrings does not trip the check (``repro/__init__.py``
+has one in its usage example).
+"""
+
+from __future__ import annotations
+
+import sys
+import tokenize
+from pathlib import Path
+
+EXEMPT = {"cli.py"}
+EXEMPT_DIRS = {"obs"}
+
+
+def offending_calls(path: Path) -> list[int]:
+    lines: list[int] = []
+    with tokenize.open(path) as handle:
+        tokens = list(tokenize.generate_tokens(handle.readline))
+    for index, token in enumerate(tokens):
+        if token.type != tokenize.NAME or token.string != "print":
+            continue
+        # a call: next meaningful token is "("
+        for nxt in tokens[index + 1 :]:
+            if nxt.type in (tokenize.NL, tokenize.NEWLINE, tokenize.COMMENT):
+                continue
+            if nxt.type == tokenize.OP and nxt.string == "(":
+                lines.append(token.start[0])
+            break
+    return lines
+
+
+def main(root: str = "src") -> int:
+    failures = 0
+    for path in sorted(Path(root).rglob("*.py")):
+        if path.name in EXEMPT or EXEMPT_DIRS & set(path.parts):
+            continue
+        for line in offending_calls(path):
+            print(f"{path}:{line}: print() in library code — use repro.obs.log")
+            failures += 1
+    if failures:
+        print(f"\n{failures} offending call(s).", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
