@@ -19,11 +19,13 @@ class Account:
     is_contract: bool = False
 
     def credit(self, amount: Wei) -> None:
+        """Add ``amount`` wei to the balance (rejects negatives)."""
         if amount < 0:
             raise ValueError("credit amount must be non-negative")
         self.balance += amount
 
     def debit(self, amount: Wei) -> None:
+        """Remove ``amount`` wei; rejects negatives and overdrafts."""
         if amount < 0:
             raise ValueError("debit amount must be non-negative")
         if amount > self.balance:
@@ -50,9 +52,11 @@ class AccountState:
         return account
 
     def exists(self, address: Address) -> bool:
+        """Whether an account record exists for ``address``."""
         return address in self.accounts
 
     def balance_of(self, address: Address) -> Wei:
+        """Balance of ``address`` in wei (0 for unknown accounts)."""
         account = self.accounts.get(address)
         return account.balance if account is not None else 0
 

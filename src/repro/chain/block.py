@@ -40,4 +40,5 @@ class Block:
 
     @property
     def transaction_count(self) -> int:
+        """Number of transactions sealed in this block."""
         return len(self.receipts)

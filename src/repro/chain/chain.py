@@ -292,14 +292,17 @@ class Blockchain:
     # -- queries -------------------------------------------------------------
 
     def balance_of(self, address: Address) -> Wei:
+        """Current balance of ``address`` in wei."""
         return self.state.balance_of(address)
 
     def get_block(self, number: int) -> Block:
+        """Block by number; raises for out-of-range numbers."""
         if not 0 <= number < len(self.blocks):
             raise UnknownAccount(f"no block number {number}")
         return self.blocks[number]
 
     def get_receipt(self, tx_hash: Hash32) -> Receipt:
+        """Receipt by transaction hash; raises if unknown."""
         receipt = self.receipts_by_hash.get(tx_hash)
         if receipt is None:
             raise UnknownAccount(f"no transaction {tx_hash}")

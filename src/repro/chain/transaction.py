@@ -31,9 +31,11 @@ class CallPayload:
 
     @classmethod
     def of(cls, method: str, **kwargs: Any) -> "CallPayload":
+        """Build a payload with kwargs canonically sorted for hashing."""
         return cls(method=method, args=tuple(sorted(kwargs.items())))
 
     def kwargs(self) -> dict[str, Any]:
+        """The call arguments as a plain dict."""
         return dict(self.args)
 
     def encode(self) -> bytes:
@@ -92,6 +94,7 @@ class InternalTransfer:
     index: int
 
     def as_api_dict(self) -> dict[str, object]:
+        """Etherscan-style ``txlistinternal`` row for this transfer."""
         return {
             "hash": self.tx_hash.hex,
             "blockNumber": str(self.block_number),
@@ -117,12 +120,14 @@ class Log:
     log_index: int
 
     def param(self, name: str) -> Any:
+        """Look up one event parameter by name."""
         for key, value in self.params:
             if key == name:
                 return value
         raise KeyError(f"event {self.event!r} has no param {name!r}")
 
     def as_dict(self) -> dict[str, Any]:
+        """The event parameters as a plain dict."""
         return dict(self.params)
 
 
@@ -142,12 +147,15 @@ class Receipt:
 
     @property
     def from_address(self) -> Address:
+        """Sender of the underlying transaction."""
         return self.transaction.from_address
 
     @property
     def to_address(self) -> Address:
+        """Recipient of the underlying transaction."""
         return self.transaction.to_address
 
     @property
     def value(self) -> Wei:
+        """Wei transferred by the underlying transaction."""
         return self.transaction.value

@@ -131,6 +131,7 @@ class Hash32:
 
     @classmethod
     def from_hex(cls, text: str) -> "Hash32":
+        """Parse a 0x-prefixed (or bare) 64-digit hex string."""
         cleaned = text[2:] if text.startswith(("0x", "0X")) else text
         if len(cleaned) != cls.LENGTH * 2:
             raise ValueError(f"hash hex must be {cls.LENGTH * 2} digits: {text!r}")
@@ -143,6 +144,7 @@ class Hash32:
 
     @property
     def hex(self) -> str:
+        """0x-prefixed lowercase hex form."""
         return "0x" + self.raw.hex()
 
     def to_int(self) -> int:

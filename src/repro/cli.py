@@ -6,6 +6,7 @@ The workflows of the repository as one tool::
     repro analyze ./crawl                                  # headline report
     repro predict ./crawl                                  # risk predictor
     repro report --domains 800                             # all-in-one, in memory
+    repro lint src                                         # structural invariants
 
 Datasets are the JSONL layout of :mod:`repro.crawler.storage`; analyses
 use the default deterministic ETH-USD oracle, so a saved dataset
@@ -26,6 +27,8 @@ from typing import Sequence
 
 from .core import build_report, train_reregistration_predictor
 from .crawler import load_dataset, save_dataset
+from .lint.cli import add_lint_arguments
+from .lint.cli import run as _cmd_lint
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -58,6 +61,7 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with every subcommand attached."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ENS dropcatching study reproduction (IMC 2024)",
@@ -101,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--domains", type=int, default=500)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+
+    lint = subparsers.add_parser(
+        "lint", help="static analysis: determinism, layering, obs hygiene"
+    )
+    add_lint_arguments(lint)
 
     for subparser in (simulate, analyze, predict, report, figures, sweep):
         _add_obs_args(subparser)
@@ -250,10 +259,12 @@ _COMMANDS = {
     "report": _cmd_report,
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse ``argv`` and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -19,10 +19,12 @@ class ActorConcentration:
 
     @property
     def unique_catchers(self) -> int:
+        """Number of distinct addresses that caught a domain."""
         return len(self.catches_by_address)
 
     @property
     def addresses_with_multiple_catches(self) -> int:
+        """How many catcher addresses caught more than one domain."""
         return sum(1 for count in self.catches_by_address.values() if count > 1)
 
     def top(self, k: int = 3) -> list[tuple[str, int]]:

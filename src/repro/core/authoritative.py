@@ -55,14 +55,17 @@ class AuthoritativeReport:
 
     @property
     def tx_hashes(self) -> set[str]:
+        """Hashes of all misdirected transactions (as a set)."""
         return {loss.tx_hash for loss in self.losses}
 
     @property
     def affected_names(self) -> int:
+        """Number of distinct names with misdirected traffic."""
         return len({loss.name for loss in self.losses})
 
     @property
     def unique_senders(self) -> int:
+        """Number of distinct senders who misdirected funds."""
         return len({loss.sender for loss in self.losses})
 
 

@@ -108,6 +108,7 @@ class ComparisonRow:
 
     @property
     def significant(self) -> bool:
+        """Whether this feature's t-test clears the significance level."""
         return self.test.significant
 
 
@@ -120,6 +121,7 @@ class FeatureComparison:
     group_size_control: int
 
     def row(self, feature: str) -> ComparisonRow:
+        """The comparison row for ``feature`` (raises if unknown)."""
         for candidate in self.rows:
             if candidate.feature == feature:
                 return candidate
@@ -127,6 +129,7 @@ class FeatureComparison:
 
     @property
     def all_significant(self) -> bool:
+        """True when every Table-1 feature tests significant."""
         return all(row.significant for row in self.rows)
 
 

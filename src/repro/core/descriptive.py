@@ -40,6 +40,7 @@ class DatasetOverview:
         return self.domains_with_known_label / self.domains if self.domains else 1.0
 
     def lines(self) -> list[str]:
+        """Human-readable overview lines for the CLI report."""
         return [
             f"domains: {self.domains} (+{self.subdomains} subdomains)"
             f" | label coverage: {self.label_coverage:.1%}",

@@ -30,10 +30,12 @@ class ReRegistration:
 
     @property
     def previous_owner(self) -> str:
+        """Registrant who let the domain expire."""
         return self.previous.registrant
 
     @property
     def new_owner(self) -> str:
+        """Registrant who re-registered (caught) the domain."""
         return self.next.registrant
 
     @property
@@ -43,10 +45,12 @@ class ReRegistration:
 
     @property
     def delay_days(self) -> float:
+        """Gap between expiry and re-registration, in days."""
         return self.delay_seconds / 86_400
 
     @property
     def paid_premium(self) -> bool:
+        """Whether the catcher paid a Dutch-auction premium."""
         return self.next.premium_wei > 0
 
 
@@ -108,6 +112,7 @@ class DropcatchSummary:
 
     @property
     def rereg_rate_among_expired(self) -> float:
+        """Fraction of expired domains that were re-registered."""
         return (
             self.reregistered_domains / self.expired_domains
             if self.expired_domains

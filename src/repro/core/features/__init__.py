@@ -1,8 +1,6 @@
 """Feature extraction for the Table-1 comparison."""
 
-from .lexical import BOOLEAN_FEATURE_NAMES, LexicalFeatures, extract_lexical
-from .transactional import TransactionalFeatures, extract_transactional
-from .wordlists import (
+from ...datasets.wordlists import (
     ADULT_WORDS,
     BRAND_NAMES,
     DICTIONARY_WORDS,
@@ -11,6 +9,8 @@ from .wordlists import (
     contains_dictionary_word,
     is_dictionary_word,
 )
+from .lexical import BOOLEAN_FEATURE_NAMES, LexicalFeatures, extract_lexical
+from .transactional import TransactionalFeatures, extract_transactional
 
 __all__ = [
     "ADULT_WORDS",

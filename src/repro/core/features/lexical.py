@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-from .wordlists import (
+from ...datasets.wordlists import (
     contains_adult_word,
     contains_brand_name,
     contains_dictionary_word,

@@ -34,6 +34,7 @@ class HijackableWindow:
     txs: tuple[TxRecord, ...]
 
     def usd_total(self, oracle: EthUsdOracle) -> float:
+        """USD value of the window's transactions at send-time rates."""
         return sum(oracle.wei_to_usd(tx.value_wei, tx.timestamp) for tx in self.txs)
 
 
@@ -46,10 +47,12 @@ class HijackableReport:
 
     @property
     def domains_with_exposure(self) -> int:
+        """Number of windows that actually received transactions."""
         return sum(1 for window in self.windows if window.txs)
 
     @property
     def total_txs(self) -> int:
+        """Total transactions across all hijackable windows."""
         return sum(len(window.txs) for window in self.windows)
 
     def usd_per_domain(self) -> list[float]:
@@ -62,6 +65,7 @@ class HijackableReport:
 
     @property
     def total_usd(self) -> float:
+        """Total USD exposure across all windows."""
         return sum(self.usd_per_domain())
 
 

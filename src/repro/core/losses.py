@@ -45,9 +45,11 @@ class MisdirectedFlow:
 
     @property
     def tx_count(self) -> int:
+        """Number of misdirected transactions in this flow."""
         return len(self.txs_to_new)
 
     def usd_total(self, oracle: EthUsdOracle) -> float:
+        """USD value of the flow's transactions at send-time rates."""
         return sum(
             oracle.wei_to_usd(tx.value_wei, tx.timestamp) for tx in self.txs_to_new
         )
@@ -65,14 +67,17 @@ class LossReport:
 
     @property
     def affected_domains(self) -> int:
+        """Number of distinct domains with misdirected flows."""
         return len({flow.domain_id for flow in self.flows})
 
     @property
     def misdirected_tx_count(self) -> int:
+        """Total misdirected transactions across flows."""
         return sum(flow.tx_count for flow in self.flows)
 
     @property
     def unique_senders(self) -> int:
+        """Number of distinct senders across flows."""
         return len({flow.sender for flow in self.flows})
 
     def usd_amounts(self) -> list[float]:
@@ -87,11 +92,13 @@ class LossReport:
 
     @property
     def average_usd_per_tx(self) -> float:
+        """Mean USD per misdirected transaction (0 when empty)."""
         amounts = self.usd_amounts()
         return sum(amounts) / len(amounts) if amounts else 0.0
 
     @property
     def total_usd(self) -> float:
+        """Total USD misdirected across all flows."""
         return sum(self.usd_amounts())
 
     def scatter_points(self) -> list[tuple[int, int, bool]]:

@@ -94,6 +94,7 @@ class LogisticModel:
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
 
     def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at ``threshold`` over the probabilities."""
         return (self.predict_proba(features) >= threshold).astype(float)
 
     def feature_weights(self) -> dict[str, float]:
@@ -210,6 +211,7 @@ class PredictorReport:
     train_size: int
 
     def top_features(self, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` features with the largest absolute weights."""
         weights = self.model.feature_weights()
         return sorted(weights.items(), key=lambda item: -abs(item[1]))[:k]
 

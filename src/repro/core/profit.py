@@ -31,10 +31,12 @@ class CatchEconomics:
 
     @property
     def profit_usd(self) -> float:
+        """Income minus cost for this catch, in USD."""
         return self.income_usd - self.cost_usd
 
     @property
     def profitable(self) -> bool:
+        """Whether the catch netted a positive USD profit."""
         return self.profit_usd > 0
 
 
@@ -46,12 +48,14 @@ class ProfitReport:
 
     @property
     def profitable_fraction(self) -> float:
+        """Fraction of catches that were profitable (0 when empty)."""
         if not self.catches:
             return 0.0
         return sum(1 for c in self.catches if c.profitable) / len(self.catches)
 
     @property
     def average_profit_usd(self) -> float:
+        """Mean USD profit per catch (0 when empty)."""
         if not self.catches:
             return 0.0
         return sum(c.profit_usd for c in self.catches) / len(self.catches)

@@ -29,16 +29,19 @@ class ResaleReport:
 
     @property
     def listed_fraction(self) -> float:
+        """Fraction of re-registered domains listed for resale."""
         if not self.reregistered_domains:
             return 0.0
         return self.listed_domains / self.reregistered_domains
 
     @property
     def sold_of_listed(self) -> float:
+        """Fraction of listed domains that sold."""
         return self.sold_domains / self.listed_domains if self.listed_domains else 0.0
 
     @property
     def average_sale_usd(self) -> float:
+        """Mean sale price in USD (0 with no sales)."""
         if not self.sale_prices_usd:
             return 0.0
         return sum(self.sale_prices_usd) / len(self.sale_prices_usd)

@@ -45,10 +45,12 @@ class MetricSummary:
 
     @property
     def mean(self) -> float:
+        """Mean of the metric across seeds."""
         return sum(self.values) / len(self.values)
 
     @property
     def std(self) -> float:
+        """Sample standard deviation across seeds (0 below two values)."""
         if len(self.values) < 2:
             return 0.0
         mu = self.mean
@@ -58,10 +60,12 @@ class MetricSummary:
 
     @property
     def minimum(self) -> float:
+        """Smallest observed value across seeds."""
         return min(self.values)
 
     @property
     def maximum(self) -> float:
+        """Largest observed value across seeds."""
         return max(self.values)
 
     def within(self, low: float, high: float) -> bool:
@@ -78,6 +82,7 @@ class RobustnessSweep:
     reports: list[HeadlineReport]
 
     def summary_lines(self) -> list[str]:
+        """Per-metric summary lines for the CLI sweep output."""
         lines = [f"robustness over seeds {list(self.seeds)}"]
         for summary in self.metrics.values():
             lines.append(

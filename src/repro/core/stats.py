@@ -29,6 +29,7 @@ class TestResult:
 
     @property
     def significant(self) -> bool:
+        """Whether ``p_value`` clears ``SIGNIFICANCE_LEVEL``."""
         return self.p_value < SIGNIFICANCE_LEVEL
 
 

@@ -45,9 +45,11 @@ class MonthlyTimeline:
     reregistrations: list[int]
 
     def peak_monthly_reregistrations(self) -> int:
+        """Largest re-registration count of any month."""
         return max(self.reregistrations, default=0)
 
     def as_rows(self) -> list[tuple[str, int, int, int]]:
+        """``(month, registrations, expirations, re-registrations)`` rows."""
         return list(
             zip(self.months, self.registrations, self.expirations, self.reregistrations)
         )
@@ -95,6 +97,7 @@ class DelayDistribution:
 
     @property
     def count(self) -> int:
+        """Number of re-registration delays observed."""
         return len(self.delays_days)
 
     def histogram(self, bin_days: float = 30.0) -> list[tuple[float, int]]:

@@ -41,6 +41,7 @@ class TimingFlow:
     txs_to_new: tuple[TxRecord, ...]
 
     def usd_total(self, oracle: EthUsdOracle) -> float:
+        """USD value of the flow's transactions at send-time rates."""
         return sum(
             oracle.wei_to_usd(tx.value_wei, tx.timestamp) for tx in self.txs_to_new
         )
@@ -55,14 +56,17 @@ class TimingLossReport:
 
     @property
     def misdirected_tx_count(self) -> int:
+        """Total misdirected transactions across flows."""
         return sum(len(flow.txs_to_new) for flow in self.flows)
 
     @property
     def affected_domains(self) -> int:
+        """Number of distinct domains with misdirected flows."""
         return len({flow.domain_id for flow in self.flows})
 
     @property
     def tx_hashes(self) -> set[str]:
+        """Hashes of all misdirected transactions (as a set)."""
         return {tx.tx_hash for flow in self.flows for tx in flow.txs_to_new}
 
 
@@ -123,6 +127,7 @@ class HeuristicOverlap:
 
     @property
     def jaccard(self) -> float:
+        """Jaccard overlap between the structural and timing heuristics."""
         union = self.structural_txs + self.timing_txs - self.both
         return self.both / union if union else 1.0
 

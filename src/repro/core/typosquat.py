@@ -88,6 +88,7 @@ class TyposquatReport:
 
     @property
     def candidate_fraction(self) -> float:
+        """Fraction of screened catches flagged as typosquat candidates."""
         if not self.catches_screened:
             return 0.0
         return len(self.candidates) / self.catches_screened

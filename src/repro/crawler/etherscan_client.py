@@ -68,10 +68,12 @@ class EtherscanClient:
 
     @property
     def requests_made(self) -> int:
+        """API requests issued so far (from the request counter)."""
         return int(self._requests.value)
 
     @property
     def retries_performed(self) -> int:
+        """Rate-limit retries performed so far (from the counter)."""
         return int(self._retries.value)
 
     @property

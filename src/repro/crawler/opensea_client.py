@@ -33,6 +33,7 @@ class OpenSeaClient:
 
     @property
     def requests_made(self) -> int:
+        """API requests issued so far (from the request counter)."""
         return int(self._requests.value)
 
     def fetch_token_events(self, token_id: str) -> list[MarketEventRecord]:

@@ -75,6 +75,7 @@ class SubgraphClient:
 
     @property
     def pages_fetched(self) -> int:
+        """GraphQL pages fetched so far (from the page counter)."""
         return int(self._pages.value)
 
     @property

@@ -42,6 +42,7 @@ class ENSDataset:
     # -- construction ------------------------------------------------------------
 
     def add_domain(self, domain: DomainRecord) -> None:
+        """Insert or replace one domain record."""
         self.domains[domain.domain_id] = domain
 
     def add_transactions(self, records: Iterable[TxRecord]) -> None:
@@ -54,6 +55,7 @@ class ENSDataset:
         self._indexed = False
 
     def add_market_events(self, records: Iterable[MarketEventRecord]) -> None:
+        """Append market events to the dataset."""
         self.market_events.extend(records)
 
     # -- indexes -------------------------------------------------------------------
@@ -76,6 +78,7 @@ class ENSDataset:
         return [tx for tx in self._incoming.get(address, ()) if not tx.is_error]
 
     def outgoing_of(self, address: str) -> list[TxRecord]:
+        """Successful outgoing transactions of ``address``."""
         if not self._indexed:
             self._build_indexes()
         return [tx for tx in self._outgoing.get(address, ()) if not tx.is_error]
@@ -83,9 +86,11 @@ class ENSDataset:
     # -- views ----------------------------------------------------------------------
 
     def iter_domains(self) -> Iterator[DomainRecord]:
+        """Iterate domain records in insertion order."""
         return iter(self.domains.values())
 
     def domain_by_name(self, name: str) -> DomainRecord | None:
+        """First domain record named ``name``, or None."""
         for domain in self.domains.values():
             if domain.name == name:
                 return domain
@@ -93,10 +98,12 @@ class ENSDataset:
 
     @property
     def domain_count(self) -> int:
+        """Number of domain records."""
         return len(self.domains)
 
     @property
     def transaction_count(self) -> int:
+        """Number of transaction records."""
         return len(self.transactions)
 
     def registrant_addresses(self) -> set[str]:

@@ -32,6 +32,7 @@ class RegistrationRecord:
     premium_wei: int
 
     def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready mapping (subgraph-style camelCase keys)."""
         return {
             "registrationId": self.registration_id,
             "registrant": self.registrant,
@@ -44,6 +45,7 @@ class RegistrationRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RegistrationRecord":
+        """Rebuild from an ``as_dict`` mapping."""
         return cls(
             registration_id=data["registrationId"],
             registrant=data["registrant"],
@@ -71,6 +73,7 @@ class DomainRecord:
 
     @property
     def registration_count(self) -> int:
+        """Number of registration events for this domain."""
         return len(self.registrations)
 
     @property
@@ -83,6 +86,7 @@ class DomainRecord:
         return seen
 
     def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready mapping (subgraph-style camelCase keys)."""
         return {
             "domainId": self.domain_id,
             "name": self.name,
@@ -97,6 +101,7 @@ class DomainRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DomainRecord":
+        """Rebuild from an ``as_dict`` mapping."""
         return cls(
             domain_id=data["domainId"],
             name=data["name"],
@@ -125,6 +130,7 @@ class TxRecord:
     is_error: bool
 
     def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready mapping (Etherscan-style keys)."""
         return {
             "hash": self.tx_hash,
             "blockNumber": self.block_number,
@@ -137,6 +143,7 @@ class TxRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TxRecord":
+        """Rebuild from an ``as_dict`` mapping."""
         return cls(
             tx_hash=data["hash"],
             block_number=data["blockNumber"],
@@ -173,6 +180,7 @@ class MarketEventRecord:
     price_wei: int
 
     def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready mapping (OpenSea-style keys)."""
         return {
             "tokenId": self.token_id,
             "eventType": self.event_type,
@@ -184,6 +192,7 @@ class MarketEventRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MarketEventRecord":
+        """Rebuild from an ``as_dict`` mapping."""
         return cls(
             token_id=data["tokenId"],
             event_type=data["eventType"],
@@ -195,6 +204,7 @@ class MarketEventRecord:
 
     @classmethod
     def from_api_row(cls, row: dict[str, object]) -> "MarketEventRecord":
+        """Build from a raw OpenSea API event row."""
         taker = row.get("taker")
         return cls(
             token_id=str(row["tokenId"]),
@@ -224,6 +234,7 @@ class ResolutionRecord:
     tx_hash: str                 # the resulting on-chain transaction
 
     def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready mapping of this resolution."""
         return {
             "name": self.name,
             "sender": self.sender,
@@ -234,6 +245,7 @@ class ResolutionRecord:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ResolutionRecord":
+        """Rebuild from an ``as_dict`` mapping."""
         return cls(
             name=data["name"],
             sender=data["sender"],

@@ -141,9 +141,11 @@ class ENSDeployment:
         )
 
     def available(self, label: str) -> bool:
+        """Whether ``label`` can currently be registered (controller view)."""
         return self.chain.view(self.controller.address, "available", label=label)
 
     def name_expires(self, label: str) -> int:
+        """Expiry timestamp of ``label`` (registrar view)."""
         return self.chain.view(
             self.base.address, "name_expires", label_hash=labelhash(registrable_label(label))
         )

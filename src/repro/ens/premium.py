@@ -46,6 +46,7 @@ class PremiumCurve:
 
     @property
     def period_seconds(self) -> int:
+        """Length of the premium decay period in seconds."""
         return self.period_days * SECONDS_PER_DAY
 
     @property

@@ -208,6 +208,7 @@ class BaseRegistrar(Contract):
         self.emit("Approval", owner=ctx.sender, approved=to, token=label_hash)
 
     def get_approved(self, ctx: CallContext, label_hash: Hash32) -> Address:
+        """Approved transfer address for ``label_hash`` (zero if none)."""
         return self._approvals.get(label_hash, ZERO_ADDRESS)
 
     def transfer_from(

@@ -90,13 +90,16 @@ class ENSRegistry(Contract):
     # -- views -----------------------------------------------------------------
 
     def owner(self, ctx: CallContext, node: Hash32) -> Address:
+        """Owner of ``node`` (zero address when unset)."""
         record = self._records.get(node)
         return record.owner if record else ZERO_ADDRESS
 
     def resolver(self, ctx: CallContext, node: Hash32) -> Address:
+        """Resolver of ``node`` (zero address when unset)."""
         record = self._records.get(node)
         return record.resolver if record else ZERO_ADDRESS
 
     def record_exists(self, ctx: CallContext, node: Hash32) -> bool:
+        """Whether ``node`` has a record with a non-zero owner."""
         record = self._records.get(node)
         return record is not None and record.owner != ZERO_ADDRESS

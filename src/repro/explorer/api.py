@@ -48,15 +48,18 @@ class VirtualClock:
     slept_total: float = 0.0
 
     def now(self) -> float:
+        """Current simulated time in seconds."""
         return self._now
 
     def sleep(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds`` (no real waiting)."""
         if seconds < 0:
             raise ValueError("cannot sleep a negative duration")
         self._now += seconds
         self.slept_total += seconds
 
     def advance(self, seconds: float) -> None:
+        """Alias for :meth:`sleep`."""
         self.sleep(seconds)
 
 

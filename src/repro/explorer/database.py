@@ -111,15 +111,18 @@ class ExplorerDatabase:
         return list(self._by_address.get(key, ()))
 
     def incoming(self, address: Address | str) -> list[TxEntry]:
+        """Indexed transactions received by ``address``."""
         key = address.hex if isinstance(address, Address) else address
         return [e for e in self._by_address.get(key, ()) if e.to_address == key]
 
     def outgoing(self, address: Address | str) -> list[TxEntry]:
+        """Indexed transactions sent by ``address``."""
         key = address.hex if isinstance(address, Address) else address
         return [e for e in self._by_address.get(key, ()) if e.from_address == key]
 
     @property
     def total_internal_transfers(self) -> int:
+        """Number of internal transfers indexed so far."""
         return self._total_internal
 
     def internal_transfers_of(self, address: Address | str) -> list:
@@ -128,4 +131,5 @@ class ExplorerDatabase:
         return list(self._internal_by_address.get(key, ()))
 
     def known_addresses(self) -> Iterator[str]:
+        """Iterate every address the explorer has indexed."""
         return iter(self._by_address)

@@ -43,13 +43,16 @@ class LabelRegistry:
         self._labels[self._key(address)] = AddressLabel(name=name, category=category)
 
     def get(self, address: Address | str) -> AddressLabel | None:
+        """Label record for ``address``, or None."""
         return self._labels.get(self._key(address))
 
     def category_of(self, address: Address | str) -> str | None:
+        """Label category of ``address``, or None."""
         label = self.get(address)
         return label.category if label else None
 
     def is_coinbase(self, address: Address | str) -> bool:
+        """Whether ``address`` is labelled as the Coinbase exchange."""
         return self.category_of(address) == CATEGORY_COINBASE
 
     def is_custodial(self, address: Address | str) -> bool:
@@ -60,6 +63,7 @@ class LabelRegistry:
         )
 
     def addresses_in_category(self, category: str) -> list[str]:
+        """Sorted addresses carrying ``category`` labels."""
         return sorted(
             address
             for address, label in self._labels.items()
@@ -67,9 +71,11 @@ class LabelRegistry:
         )
 
     def coinbase_addresses(self) -> list[str]:
+        """Sorted addresses labelled as Coinbase."""
         return self.addresses_in_category(CATEGORY_COINBASE)
 
     def non_coinbase_custodial_addresses(self) -> list[str]:
+        """Sorted addresses of other custodial exchanges."""
         return self.addresses_in_category(CATEGORY_CUSTODIAL_EXCHANGE)
 
     def __len__(self) -> int:

@@ -43,6 +43,7 @@ class RegistrationEventRecord:
     premium_wei: int | None = None
 
     def as_dict(self) -> dict[str, Any]:
+        """GraphQL-ready mapping of this event."""
         return {
             "id": self.id,
             "eventType": self.event_type,
@@ -78,6 +79,7 @@ class RegistrationEntity:
     events: list[RegistrationEventRecord] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
+        """GraphQL-ready mapping of this registration."""
         return {
             "id": self.id,
             "domain": self.domain_id,
@@ -111,6 +113,7 @@ class DomainEntity:
     registration_ids: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
+        """GraphQL-ready mapping of this domain."""
         return {
             "id": self.id,
             "name": self.name,

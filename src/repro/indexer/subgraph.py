@@ -80,7 +80,7 @@ class ENSSubgraph:
         return self._indexed_log_count
 
     @property
-    def chain(self):
+    def chain(self) -> Blockchain:
         """The chain this subgraph indexes (for _meta introspection)."""
         return self._deployment.chain
 

@@ -1,0 +1,49 @@
+"""Static analysis enforcing the reproduction's structural invariants.
+
+The paper's numbers only reproduce while three properties hold
+machine-checkably: runs are bit-for-bit deterministic, the substrate
+layers only depend downward (``repro.chain`` must never reach up into
+the crawler that crawls it), and failures are counted rather than
+swallowed. This package is a small pluggable AST/tokenize framework —
+checker registry, per-file :class:`Finding` records, line-level
+``# lint: ignore[rule-id]`` suppressions, deterministic text/JSON
+reporters — plus five built-in checkers:
+
+* ``determinism`` — global-RNG calls, wall-clock reads, set-order leaks,
+* ``layering`` — the package import DAG, upward imports and cycles,
+* ``obs-hygiene`` — ``print()`` in library code, swallowed exceptions,
+* ``mutable-defaults`` — shared mutable default arguments,
+* ``public-api`` — docstring/annotation coverage of the public surface.
+
+Run it as ``repro lint``, ``python -m repro.lint``, or in-process::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src"])
+    assert result.exit_code == 0, [f.render() for f in result.findings]
+
+See ``docs/LINTING.md`` for the rule catalogue and the
+checker-authoring recipe.
+"""
+
+from .findings import Finding, Rule, Severity
+from .registry import Checker, all_checkers, all_rules, register
+from .reporters import render_json, render_text, summary_line
+from .runner import LintResult, lint_paths, lint_sources
+from .source import SourceFile
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "all_checkers",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "register",
+    "render_json",
+    "render_text",
+    "summary_line",
+]

@@ -1,0 +1,92 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes follow the classic lint contract: 0 when no error-severity
+finding survives suppression, 1 otherwise, 2 for usage errors (from
+argparse). Findings print to stdout — for this tool the report *is*
+the product, same as ``repro analyze`` — pre-sorted by (path, line,
+column, rule) so CI logs are byte-stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .registry import all_rules
+from .reporters import render_json, render_text
+from .runner import lint_paths
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids or checker names to run"
+        " (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Stand-alone parser for the ``python -m repro.lint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="static analysis for the repro tree: determinism,"
+        " layering, obs hygiene, mutable defaults, public-API coverage",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _rule_catalogue() -> str:
+    """The rule table shown by ``--list-rules``."""
+    lines = []
+    for checker_name, rule in all_rules():
+        lines.append(
+            f"{rule.id:24s} {rule.severity!s:8s} [{checker_name}] {rule.summary}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation and print the report."""
+    if args.list_rules:
+        print(_rule_catalogue(), end="")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    try:
+        result = lint_paths(args.paths, rules=rules)
+    except ValueError as exc:  # unknown rule id
+        print(f"repro.lint: {exc}")
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result), end="")
+    return result.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.lint [--format text|json] [--rules ...] [PATHS]``."""
+    return run(build_parser().parse_args(argv))

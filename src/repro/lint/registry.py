@@ -1,0 +1,128 @@
+"""Checker base class and registry.
+
+A checker is a class with a ``name``, a tuple of :class:`Rule` records
+it can emit, a per-file :meth:`Checker.check`, and an optional
+whole-run :meth:`Checker.finish` for cross-file invariants (the
+layering checker detects import cycles there). Registration is a
+decorator so a checker module is self-contained::
+
+    @register
+    class MyChecker(Checker):
+        name = "my-checker"
+        rules = (Rule("my-rule", "what it enforces"),)
+
+        def check(self, source):
+            ...
+
+The registry is keyed by checker name; every registered checker runs
+unless the caller narrows the rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from .findings import Finding, Rule, Severity
+from .source import SourceFile
+
+__all__ = ["Checker", "all_checkers", "all_rules", "register"]
+
+_REGISTRY: dict[str, Type["Checker"]] = {}
+
+
+class Checker:
+    """Base class: subclass, set ``name``/``rules``, implement ``check``."""
+
+    name: str = ""
+    rules: tuple[Rule, ...] = ()
+
+    def __init__(self, enabled_rules: frozenset[str] | None = None) -> None:
+        """``enabled_rules`` of ``None`` means every rule of this checker."""
+        self.enabled_rules = enabled_rules
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one parsed file (override in subclasses)."""
+        raise NotImplementedError
+
+    def finish(self) -> Iterator[Finding]:
+        """Yield cross-file findings after every file has been checked."""
+        return iter(())
+
+    # -- helpers for subclasses ------------------------------------------------
+
+    def rule(self, rule_id: str) -> Rule:
+        """Look up one of this checker's rules by id."""
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def enabled(self, rule_id: str) -> bool:
+        """Whether the caller asked for this rule (default: yes)."""
+        return self.enabled_rules is None or rule_id in self.enabled_rules
+
+    def finding(
+        self,
+        source: SourceFile,
+        rule_id: str,
+        line: int,
+        column: int,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` with the rule's default severity."""
+        rule = self.rule(rule_id)
+        return Finding(
+            path=source.path,
+            line=line,
+            column=column,
+            rule=rule.id,
+            message=message,
+            severity=severity or rule.severity,
+        )
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, Type[Checker]]:
+    """Registered checkers by name, in sorted-name order."""
+    from . import checkers  # noqa: F401  (import populates the registry)
+
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def all_rules() -> list[tuple[str, Rule]]:
+    """Every ``(checker name, rule)`` pair, sorted by rule id."""
+    pairs: list[tuple[str, Rule]] = []
+    for name, cls in all_checkers().items():
+        pairs.extend((name, rule) for rule in cls.rules)
+    return sorted(pairs, key=lambda pair: pair[1].id)
+
+
+def resolve_rules(requested: Iterable[str]) -> dict[str, frozenset[str]]:
+    """Map checker name -> enabled rule ids for a ``--rules`` selection.
+
+    Accepts rule ids and checker names (a checker name enables all of
+    its rules). Unknown names raise ``ValueError`` so typos fail loudly
+    instead of silently disabling a gate.
+    """
+    checkers = all_checkers()
+    by_rule = {rule.id: name for name, rule in all_rules()}
+    selection: dict[str, set[str]] = {}
+    for token in requested:
+        if token in checkers:
+            selection.setdefault(token, set()).update(
+                rule.id for rule in checkers[token].rules
+            )
+        elif token in by_rule:
+            selection.setdefault(by_rule[token], set()).add(token)
+        else:
+            known = ", ".join(sorted(by_rule))
+            raise ValueError(f"unknown rule or checker {token!r}; known: {known}")
+    return {name: frozenset(rules) for name, rules in selection.items()}

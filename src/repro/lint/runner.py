@@ -1,0 +1,124 @@
+"""The lint runner: discover files, run checkers, suppress, sort.
+
+Entry points:
+
+* :func:`lint_paths` — files and directories from the command line,
+* :func:`lint_sources` — pre-built :class:`SourceFile` objects (what
+  the unit tests use for inline string fixtures).
+
+Determinism is part of the runner's contract, not an accident: files
+are discovered in sorted order, checkers run in sorted-name order, and
+findings are sorted by ``(path, line, column, rule)`` before anything
+is reported — so CI logs diff cleanly across runs, machines, and
+Python versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, Severity
+from .registry import all_checkers, resolve_rules
+from .source import SourceFile
+
+__all__ = ["LintResult", "lint_paths", "lint_sources"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: surviving findings plus bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        """CI contract: 1 when any error-severity finding survives, else 0."""
+        return 1 if self.errors else 0
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            files.append(candidate)
+    return files
+
+
+def lint_sources(
+    sources: Iterable[SourceFile], rules: Sequence[str] | None = None
+) -> LintResult:
+    """Run the (optionally narrowed) checker set over parsed sources."""
+    selection = resolve_rules(rules) if rules else None
+    checkers = []
+    for name, cls in all_checkers().items():
+        if selection is None:
+            checkers.append(cls())
+        elif name in selection:
+            checkers.append(cls(enabled_rules=selection[name]))
+
+    result = LintResult()
+    raw: list[tuple[SourceFile | None, Finding]] = []
+    checked: dict[str, SourceFile] = {}
+    for source in sources:
+        result.files_checked += 1
+        checked[source.path] = source
+        if source.parse_error is not None:
+            line = source.parse_error.lineno or 1
+            column = (source.parse_error.offset or 1) - 1
+            result.findings.append(
+                Finding(
+                    path=source.path,
+                    line=line,
+                    column=max(column, 0),
+                    rule="parse-error",
+                    message=f"cannot parse: {source.parse_error.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        for checker in checkers:
+            raw.extend((source, finding) for finding in checker.check(source))
+    for checker in checkers:
+        for finding in checker.finish():
+            raw.append((checked.get(finding.path), finding))
+
+    for source, finding in raw:
+        if source is not None and source.is_suppressed(finding.line, finding.rule):
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda finding: finding.sort_key)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str | Path], rules: Sequence[str] | None = None
+) -> LintResult:
+    """Discover ``*.py`` files under ``paths`` and lint them."""
+    sources = (SourceFile.from_path(path) for path in discover_files(paths))
+    return lint_sources(sources, rules=rules)

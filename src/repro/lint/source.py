@@ -1,0 +1,129 @@
+"""Parsed source files and ``# lint: ignore[...]`` suppressions.
+
+Each file is parsed once (AST + token stream) and shared by every
+checker, so adding a checker costs one tree walk, not one parse.
+
+Suppression syntax, on the offending line::
+
+    noisy = list(some_set)  # lint: ignore[det-set-order] membership only
+    anything_goes()         # lint: ignore
+
+``ignore[rule, rule2]`` silences just those rules on that line;
+``ignore`` with no bracket silences every rule on that line. Text
+after the closing bracket is free-form and should say *why* the
+violation is intentional.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceFile", "module_name_for", "parse_suppressions"]
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: Sentinel meaning "every rule is suppressed on this line".
+ALL_RULES = "*"
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed there (``{'*'}`` = all).
+
+    Uses the token stream, not a regex over raw lines, so the marker
+    only counts inside real comments — a ``# lint: ignore`` inside a
+    string literal is data, not a directive.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            if match.group(1) is None:
+                rules = frozenset({ALL_RULES})
+            else:
+                rules = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | rules
+    except tokenize.TokenError:
+        pass  # unterminated source; the parse-error finding covers it
+    return suppressions
+
+
+def module_name_for(path: Path) -> str | None:
+    """Dotted module name for files under a ``src/repro`` tree, else None.
+
+    ``src/repro/crawler/pipeline.py`` -> ``repro.crawler.pipeline``;
+    package ``__init__.py`` maps to the package itself. Scripts outside
+    the library (``tools/``, ``benchmarks/``) get ``None`` — checkers
+    that enforce library-only rules key off this.
+    """
+    parts = path.parts
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro" and anchor > 0 and parts[anchor - 1] == "src":
+            dotted = list(parts[anchor:-1])
+            stem = path.stem
+            if stem != "__init__":
+                dotted.append(stem)
+            return ".".join(dotted)
+    return None
+
+
+@dataclass
+class SourceFile:
+    """One file's text plus everything checkers derive from it."""
+
+    path: str
+    text: str
+    module: str | None = None
+    tree: ast.Module | None = field(default=None, repr=False)
+    parse_error: SyntaxError | None = None
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_path(cls, path: Path, display: str | None = None) -> "SourceFile":
+        """Read and parse ``path``; ``display`` overrides the report path."""
+        text = path.read_text(encoding="utf-8")
+        return cls.from_text(
+            text, path=display or str(path), module=module_name_for(path)
+        )
+
+    @classmethod
+    def from_text(
+        cls, text: str, path: str = "<string>", module: str | None = None
+    ) -> "SourceFile":
+        """Build from an in-memory string (the unit-test entry point)."""
+        source = cls(path=path, text=text, module=module)
+        try:
+            source.tree = ast.parse(text)
+        except SyntaxError as exc:
+            source.parse_error = exc
+        source.suppressions = parse_suppressions(text)
+        return source
+
+    @property
+    def package(self) -> str | None:
+        """The module's enclosing package (itself for ``__init__`` files)."""
+        if self.module is None:
+            return None
+        if Path(self.path).stem == "__init__":
+            return self.module
+        parent, _, _ = self.module.rpartition(".")
+        return parent or self.module
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """True if ``rule`` is silenced on ``line`` by an ignore comment."""
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return ALL_RULES in rules or rule in rules

@@ -40,6 +40,7 @@ class MarketEvent:
     price_wei: int
 
     def as_api_dict(self) -> dict[str, object]:
+        """OpenSea-style API row for this event."""
         return {
             "tokenId": self.token_id,
             "eventType": self.event_type,
@@ -101,6 +102,7 @@ class OpenSeaMarket(Contract):
         self.emit("Listed", token=token_id, seller=ctx.sender, price=price_wei)
 
     def cancel_listing(self, ctx: CallContext, token_id: Hash32) -> None:
+        """Withdraw the sender's active listing (reverts if none)."""
         listing = self._active.get(token_id.hex)
         if listing is None or listing.seller != ctx.sender:
             raise Revert("no active listing by this seller")
@@ -161,15 +163,19 @@ class OpenSeaMarket(Contract):
     # -- views / feed -----------------------------------------------------------
 
     def is_listed(self, token_id: Hash32) -> bool:
+        """Whether ``token_id`` has an active listing."""
         return token_id.hex in self._active
 
     def listing_price(self, token_id: Hash32) -> Wei | None:
+        """Active listing price in wei, or None."""
         listing = self._active.get(token_id.hex)
         return listing.price_wei if listing else None
 
     def events_of(self, token_id: Hash32 | str) -> list[MarketEvent]:
+        """All market events of one token, oldest first."""
         key = token_id.hex if isinstance(token_id, Hash32) else token_id
         return list(self._events_by_token.get(key, ()))
 
     def iter_events(self) -> Iterator[MarketEvent]:
+        """Iterate every market event in recorded order."""
         return iter(self.events)

@@ -89,15 +89,19 @@ class StructuredLogger:
         self._logger.log(level, " ".join(parts))
 
     def debug(self, event: str, **fields: Any) -> None:
+        """Emit a DEBUG-level event line."""
         self._emit(logging.DEBUG, event, fields)
 
     def info(self, event: str, **fields: Any) -> None:
+        """Emit an INFO-level event line."""
         self._emit(logging.INFO, event, fields)
 
     def warning(self, event: str, **fields: Any) -> None:
+        """Emit a WARNING-level event line."""
         self._emit(logging.WARNING, event, fields)
 
     def error(self, event: str, **fields: Any) -> None:
+        """Emit an ERROR-level event line."""
         self._emit(logging.ERROR, event, fields)
 
 

@@ -59,12 +59,14 @@ class Counter:
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
         if amount < 0:
             raise MetricError("counters can only increase")
         self._value += amount
 
     @property
     def value(self) -> float:
+        """Current cumulative value."""
         return self._value
 
 
@@ -77,16 +79,20 @@ class Gauge:
         self._value = 0.0
 
     def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
         self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount``."""
         self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Decrease by ``amount``."""
         self._value -= amount
 
     @property
     def value(self) -> float:
+        """Current value."""
         return self._value
 
 
@@ -104,6 +110,7 @@ class Histogram:
         self._values: list[float] = []
 
     def observe(self, value: float) -> None:
+        """Record one observation."""
         value = float(value)
         self._sum += value
         self._values.append(value)
@@ -114,18 +121,22 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Number of observations."""
         return len(self._values)
 
     @property
     def sum(self) -> float:
+        """Sum of all observations."""
         return self._sum
 
     @property
     def values(self) -> tuple[float, ...]:
+        """Every observation in arrival order."""
         return tuple(self._values)
 
     @property
     def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
         return self._sum / len(self._values) if self._values else math.nan
 
     def percentile(self, p: float) -> float:
@@ -246,6 +257,7 @@ class MetricsRegistry:
         return family if labels else family.default
 
     def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Any:
+        """Get or create a gauge family (the gauge itself when unlabelled)."""
         family = self._register(name, "gauge", help, labels)
         return family if labels else family.default
 
@@ -256,6 +268,7 @@ class MetricsRegistry:
         labels: tuple[str, ...] = (),
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> Any:
+        """Get or create a histogram family (the histogram when unlabelled)."""
         family = self._register(name, "histogram", help, labels, buckets=buckets)
         return family if labels else family.default
 
@@ -266,6 +279,7 @@ class MetricsRegistry:
         return [self._families[name] for name in sorted(self._families)]
 
     def get(self, name: str) -> MetricFamily | None:
+        """Family by name, or None."""
         return self._families.get(name)
 
     def value(self, name: str, **label_values: object) -> float:

@@ -45,6 +45,7 @@ class Span:
         return None if self.end is None else self.end - self.start
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping of this span and its children."""
         entry: dict[str, Any] = {
             "name": self.name,
             "duration_seconds": self.duration,
@@ -58,6 +59,7 @@ class Span:
         return entry
 
     def iter_tree(self) -> Iterator["Span"]:
+        """Yield this span then all descendants, depth-first."""
         yield self
         for child in self.children:
             yield from child.iter_tree()
@@ -114,6 +116,7 @@ class Tracer:
     # -- inspection --------------------------------------------------------
 
     def iter_spans(self) -> Iterator[Span]:
+        """Yield every recorded span, depth-first from the roots."""
         for root in self.roots:
             yield from root.iter_tree()
 
@@ -125,6 +128,7 @@ class Tracer:
         return None
 
     def as_dict(self) -> list[dict[str, Any]]:
+        """JSON-ready list of root span trees."""
         return [root.as_dict() for root in self.roots]
 
     def tree_lines(self) -> list[str]:

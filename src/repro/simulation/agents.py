@@ -97,4 +97,5 @@ class GroundTruth:
 
     @property
     def caught_labels(self) -> set[str]:
+        """Labels of every domain caught in the scenario (as a set)."""
         return {catch.label for catch in self.catches}

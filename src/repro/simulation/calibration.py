@@ -87,6 +87,7 @@ class PaperTargets:
 
     @property
     def opensea_sold_of_listed(self) -> float:
+        """Paper target: fraction of OpenSea-listed catches that sold."""
         return self.sold_on_opensea / self.listed_on_opensea
 
 

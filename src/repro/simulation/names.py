@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..core.features.wordlists import ADULT_WORDS, BRAND_NAMES, DICTIONARY_WORDS
+from ..datasets.wordlists import ADULT_WORDS, BRAND_NAMES, DICTIONARY_WORDS
 
 __all__ = ["GeneratedName", "NameGenerator"]
 
@@ -145,4 +145,5 @@ class NameGenerator:
         )
 
     def generate_many(self, count: int) -> list[GeneratedName]:
+        """Generate ``count`` names from the calibrated distribution."""
         return [self.generate() for _ in range(count)]

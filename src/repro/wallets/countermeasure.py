@@ -39,10 +39,12 @@ class CountermeasureEvaluation:
 
     @property
     def tx_coverage(self) -> float:
+        """Fraction of misdirected transactions the warning caught."""
         return self.warned_txs / self.misdirected_txs if self.misdirected_txs else 0.0
 
     @property
     def usd_coverage(self) -> float:
+        """Fraction of misdirected USD the warning caught."""
         return self.warned_usd / self.misdirected_usd if self.misdirected_usd else 0.0
 
 

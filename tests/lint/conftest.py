@@ -1,0 +1,37 @@
+"""Shared helpers: lint inline source-string fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintResult, SourceFile, lint_sources
+
+
+@pytest.fixture()
+def lint_text():
+    """Lint one dedented source string; returns the LintResult."""
+
+    def run(
+        text: str,
+        module: str | None = "repro.core.fixture",
+        path: str = "src/repro/core/fixture.py",
+        rules: list[str] | None = None,
+    ) -> LintResult:
+        source = SourceFile.from_text(
+            textwrap.dedent(text), path=path, module=module
+        )
+        return lint_sources([source], rules=rules)
+
+    return run
+
+
+@pytest.fixture()
+def rule_ids(lint_text):
+    """Like lint_text but returns just the list of violated rule ids."""
+
+    def run(text: str, **kwargs) -> list[str]:
+        return [f.rule for f in lint_text(text, **kwargs).findings]
+
+    return run

@@ -1,0 +1,113 @@
+"""The lint CLI front ends + the committed-tree integration gate."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import lint_paths
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src")
+
+
+class TestCommittedTree:
+    """The acceptance gate: the committed tree lints clean."""
+
+    def test_src_exits_zero(self) -> None:
+        result = lint_paths([SRC])
+        assert result.exit_code == 0, "\n".join(
+            f.render() for f in result.findings
+        )
+
+    def test_tools_and_benchmarks_exit_zero(self) -> None:
+        result = lint_paths(
+            [str(REPO_ROOT / "tools"), str(REPO_ROOT / "benchmarks")]
+        )
+        assert result.exit_code == 0, "\n".join(
+            f.render() for f in result.findings
+        )
+
+    def test_python_dash_m_entry_point(self) -> None:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s)" in proc.stdout
+
+    def test_output_is_identical_across_runs(self) -> None:
+        def run() -> str:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+                capture_output=True,
+                text=True,
+                cwd=REPO_ROOT,
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0
+            return proc.stdout
+
+        assert run() == run()
+
+
+class TestLintCli:
+    def test_repro_lint_subcommand(self, capsys) -> None:
+        code = repro_main(["lint", SRC])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_nonzero_exit_on_findings(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "src" / "repro" / "badmod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        code = lint_main([str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "det-unseeded-random" in out
+
+    def test_json_format(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "src" / "repro" / "badmod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(a=[]):\n    pass\n")
+        code = lint_main(
+            [str(tmp_path / "src"), "--format", "json", "--rules", "mutable-defaults"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["findings"][0]["rule"] == "mutable-default"
+
+    def test_rules_filter(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "src" / "repro" / "badmod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\ndef f(a=[]):\n    pass\n")
+        code = lint_main([str(tmp_path / "src"), "--rules", "mutable-default"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "mutable-default" in out
+        assert "det-unseeded-random" not in out
+
+    def test_unknown_rule_is_usage_error(self, capsys) -> None:
+        code = lint_main([SRC, "--rules", "no-such-rule"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys) -> None:
+        code = lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in (
+            "det-unseeded-random",
+            "layering-upward",
+            "obs-no-print",
+            "mutable-default",
+            "api-docstring",
+        ):
+            assert rule_id in out

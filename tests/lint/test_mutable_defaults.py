@@ -1,0 +1,62 @@
+"""Mutable-default-args checker."""
+
+from __future__ import annotations
+
+
+class TestMutableDefaults:
+    def test_flags_list_default(self, rule_ids) -> None:
+        assert "mutable-default" in rule_ids(
+            """
+            def collect(seen=[]):
+                seen.append(1)
+            """
+        )
+
+    def test_flags_dict_set_and_constructor_defaults(self, rule_ids) -> None:
+        ids = rule_ids(
+            """
+            def f(a={}, b=set(), c=dict(), d={1, 2}):
+                pass
+            """
+        )
+        assert ids.count("mutable-default") == 4
+
+    def test_flags_keyword_only_default(self, rule_ids) -> None:
+        assert "mutable-default" in rule_ids(
+            """
+            def f(*, cache=[]):
+                pass
+            """
+        )
+
+    def test_flags_lambda_default(self, rule_ids) -> None:
+        assert "mutable-default" in rule_ids("g = lambda xs=[]: xs\n")
+
+    def test_none_sentinel_is_clean(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def collect(seen=None):
+                if seen is None:
+                    seen = []
+                return seen
+            """,
+            rules=["mutable-defaults"],
+        ) == []
+
+    def test_immutable_defaults_are_clean(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def f(a=0, b="x", c=(), d=frozenset(), e=None):
+                pass
+            """,
+            rules=["mutable-defaults"],
+        ) == []
+
+    def test_suppression_comment(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def f(seen=[]):  # lint: ignore[mutable-default] intentional memo table
+                pass
+            """,
+            rules=["mutable-defaults"],
+        ) == []

@@ -1,0 +1,128 @@
+"""Obs-hygiene checker + the check_no_print shim contract."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestNoPrint:
+    def test_flags_print_in_library_module(self, rule_ids) -> None:
+        assert "obs-no-print" in rule_ids(
+            """
+            def report():
+                print("hello")
+            """,
+            rules=["obs-hygiene"],
+        )
+
+    def test_print_in_string_or_comment_is_fine(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            # print("not a call")
+            text = 'print("still not a call")'
+            """
+        ) == []
+
+    def test_cli_module_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            "print('the report')\n",
+            module="repro.cli",
+            path="src/repro/cli.py",
+        ) == []
+
+    def test_obs_package_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            "print('handler output')\n",
+            module="repro.obs.log",
+            path="src/repro/obs/log.py",
+        ) == []
+
+    def test_scripts_outside_library_may_print(self, rule_ids) -> None:
+        assert rule_ids(
+            "print('benchmark result')\n",
+            module=None,
+            path="benchmarks/bench_thing.py",
+        ) == []
+
+    def test_suppression_comment(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            print("x")  # lint: ignore[obs-no-print] debugging aid kept on purpose
+            """,
+            rules=["obs-hygiene"],
+        ) == []
+
+
+class TestSwallowedException:
+    def test_flags_bare_except(self, rule_ids) -> None:
+        assert "obs-swallowed-exception" in rule_ids(
+            """
+            try:
+                fetch()
+            except:
+                handle()
+            """
+        )
+
+    def test_flags_pass_only_broad_handler(self, rule_ids) -> None:
+        assert "obs-swallowed-exception" in rule_ids(
+            """
+            try:
+                fetch()
+            except Exception:
+                pass
+            """
+        )
+
+    def test_broad_handler_with_logic_is_allowed(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def fetch_one():
+                try:
+                    return fetch()
+                except Exception:
+                    return None
+            """,
+            rules=["obs-hygiene"],
+        ) == []
+
+    def test_narrow_pass_handler_is_allowed(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            try:
+                fetch()
+            except KeyError:
+                pass
+            """
+        ) == []
+
+
+class TestCheckNoPrintShim:
+    """The historic tools/check_no_print.py CLI contract must survive."""
+
+    def _run(self, root: str, cwd: Path) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_no_print.py"), root],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_clean_tree_exits_zero(self) -> None:
+        result = self._run("src", REPO_ROOT)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_offending_tree_exits_one_with_old_format(self, tmp_path) -> None:
+        bad = tmp_path / "src" / "repro" / "badmod.py"
+        bad.parent.mkdir(parents=True)
+        (bad.parent / "__init__.py").write_text("")
+        bad.write_text("def f():\n    print('oops')\n")
+        result = self._run("src", tmp_path)
+        assert result.returncode == 1
+        assert "badmod.py:2:" in result.stdout
+        assert "repro.obs.log" in result.stdout
+        assert "1 offending call(s)." in result.stderr

@@ -1,0 +1,118 @@
+"""Public-API coverage checker: docstrings and annotations."""
+
+from __future__ import annotations
+
+
+class TestDocstrings:
+    def test_flags_public_function_without_docstring(self, rule_ids) -> None:
+        assert "api-docstring" in rule_ids(
+            """
+            def frob(x: int) -> int:
+                return x
+            """
+        )
+
+    def test_flags_public_method_of_public_class(self, rule_ids) -> None:
+        ids = rule_ids(
+            """
+            class Report:
+                \"\"\"A report.\"\"\"
+
+                def lines(self) -> list:
+                    return []
+            """
+        )
+        assert "api-docstring" in ids
+
+    def test_private_function_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def _helper(x: int) -> int:
+                return x
+            """
+        ) == []
+
+    def test_private_class_methods_are_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            class _Internal:
+                def anything(self, x):
+                    return x
+            """
+        ) == []
+
+    def test_dunder_methods_are_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            class Box:
+                \"\"\"A box.\"\"\"
+
+                def __len__(self) -> int:
+                    return 0
+            """
+        ) == []
+
+    def test_documented_function_is_clean(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def frob(x: int) -> int:
+                \"\"\"Frobnicate ``x``.\"\"\"
+                return x
+            """
+        ) == []
+
+
+class TestAnnotations:
+    def test_flags_unannotated_parameter(self, rule_ids) -> None:
+        result = rule_ids(
+            """
+            def frob(x) -> int:
+                \"\"\"Frobnicate.\"\"\"
+                return x
+            """
+        )
+        assert "api-annotation" in result
+
+    def test_flags_missing_return_annotation(self, rule_ids) -> None:
+        assert "api-annotation" in rule_ids(
+            """
+            def frob(x: int):
+                \"\"\"Frobnicate.\"\"\"
+                return x
+            """
+        )
+
+    def test_self_and_cls_are_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            class Thing:
+                \"\"\"A thing.\"\"\"
+
+                def scale(self, factor: float) -> float:
+                    \"\"\"Scale.\"\"\"
+                    return factor
+
+                @classmethod
+                def default(cls) -> "Thing":
+                    \"\"\"Default instance.\"\"\"
+                    return cls()
+            """
+        ) == []
+
+    def test_star_args_need_annotations(self, rule_ids) -> None:
+        assert "api-annotation" in rule_ids(
+            """
+            def frob(*args, **kwargs) -> None:
+                \"\"\"Frobnicate.\"\"\"
+            """
+        )
+
+    def test_only_library_modules_are_checked(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def bench_main(n):
+                return n
+            """,
+            module=None,
+            path="benchmarks/bench_thing.py",
+        ) == []

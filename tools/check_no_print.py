@@ -1,53 +1,36 @@
 #!/usr/bin/env python
-"""Fail if library code calls ``print()``.
+"""Fail if library code calls ``print()`` — shim over ``repro.lint``.
 
-Library output must go through ``repro.obs.log`` (structured, stderr)
-so that piped CLI output stays machine-readable. Exempt: ``cli.py``
-(owns the user-facing stdout report) and the obs package itself.
+Historic entry point kept for existing CI invocations and muscle
+memory; the actual check is the ``obs-no-print`` rule of the
+``obs-hygiene`` checker (see ``docs/LINTING.md``). Same contract as
+ever: offending ``path:line`` lines on stdout, a count on stderr, exit
+code 1 when anything offends, 0 otherwise.
 
-Tokenize-based rather than grep so that ``print`` inside strings,
-comments, and docstrings does not trip the check (``repro/__init__.py``
-has one in its usage example).
+Prefer ``python -m repro.lint src`` (or ``repro lint``), which runs
+every checker, not just this rule.
 """
 
 from __future__ import annotations
 
 import sys
-import tokenize
 from pathlib import Path
 
-EXEMPT = {"cli.py"}
-EXEMPT_DIRS = {"obs"}
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-
-def offending_calls(path: Path) -> list[int]:
-    lines: list[int] = []
-    with tokenize.open(path) as handle:
-        tokens = list(tokenize.generate_tokens(handle.readline))
-    for index, token in enumerate(tokens):
-        if token.type != tokenize.NAME or token.string != "print":
-            continue
-        # a call: next meaningful token is "("
-        for nxt in tokens[index + 1 :]:
-            if nxt.type in (tokenize.NL, tokenize.NEWLINE, tokenize.COMMENT):
-                continue
-            if nxt.type == tokenize.OP and nxt.string == "(":
-                lines.append(token.start[0])
-            break
-    return lines
+from repro.lint import lint_paths  # noqa: E402
 
 
 def main(root: str = "src") -> int:
-    failures = 0
-    for path in sorted(Path(root).rglob("*.py")):
-        if path.name in EXEMPT or EXEMPT_DIRS & set(path.parts):
-            continue
-        for line in offending_calls(path):
-            print(f"{path}:{line}: print() in library code — use repro.obs.log")
-            failures += 1
-    if failures:
-        print(f"\n{failures} offending call(s).", file=sys.stderr)
-    return 1 if failures else 0
+    """Run the obs-no-print rule over ``root``; old exit-code contract."""
+    result = lint_paths([root], rules=["obs-no-print"])
+    for finding in result.findings:
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+    if result.findings:
+        print(f"\n{len(result.findings)} offending call(s).", file=sys.stderr)
+    return 1 if result.findings else 0
 
 
 if __name__ == "__main__":
