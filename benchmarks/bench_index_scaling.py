@@ -1,0 +1,88 @@
+"""Index scaling: the shared AnalysisContext vs the index-free reference.
+
+The tentpole claim of the perf work is that `build_report` stops being
+O(analyses x events x senders x txs) once every analysis reads the
+shared index. These cases measure that directly at several dataset
+scales and — crucially — assert at every scale that the indexed report
+is byte-identical to the `ScanAccess` reference, so no speedup can be
+bought with a silent behaviour change.
+
+Scales default to the issue's {200, 800, 3200}; set
+``REPRO_BENCH_SCALES`` (comma-separated) to trim the sweep, e.g.
+``REPRO_BENCH_SCALES=200,800`` for the CI perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import AnalysisContext, ScanAccess, build_report
+from repro.simulation import ScenarioConfig, run_scenario
+
+DEFAULT_SCALES = "200,800,3200"
+
+
+def _scales() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_SCALES", DEFAULT_SCALES)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+@pytest.fixture(scope="module", params=_scales(), ids=lambda n: f"{n}d")
+def sized_world(request):
+    """(dataset, oracle) at one sweep scale, built once per module."""
+    world = run_scenario(ScenarioConfig(n_domains=request.param, seed=7))
+    dataset, _ = world.run_crawl()
+    return dataset, world.oracle
+
+
+def test_report_indexed(benchmark, sized_world) -> None:
+    dataset, oracle = sized_world
+    report = benchmark.pedantic(build_report, args=(dataset, oracle), rounds=3)
+    assert report.summary.total_domains == dataset.domain_count
+
+
+def test_report_scan_reference(benchmark, sized_world) -> None:
+    """The unindexed path: every query is a full scan. The floor to beat."""
+    dataset, oracle = sized_world
+
+    def _scan_report():
+        return build_report(
+            dataset, oracle, context=ScanAccess(dataset, oracle)
+        )
+
+    report = benchmark.pedantic(_scan_report, rounds=1)
+    assert report.summary.total_domains == dataset.domain_count
+
+
+def test_warm_context_window_queries(benchmark, sized_world) -> None:
+    """Steady-state query cost once the index is built: bisect slices."""
+    dataset, oracle = sized_world
+    context = AnalysisContext(dataset, oracle)
+    wallets = sorted(dataset.wallet_addresses())[:512]
+    context.incoming_window(wallets[0], None, None)  # build the index
+
+    def _sweep() -> int:
+        total = 0
+        for wallet in wallets:
+            total += len(context.incoming_window(wallet, 0, 2**40))
+        return total
+
+    total = benchmark(_sweep)
+    assert total >= 0
+
+
+def test_indexed_output_identical_to_scan(sized_world) -> None:
+    """No speedup may change a single rendered line at any scale."""
+    dataset, oracle = sized_world
+    indexed = build_report(dataset, oracle)
+    reference = build_report(
+        dataset, oracle, context=ScanAccess(dataset, oracle)
+    )
+    assert indexed.lines() == reference.lines()
+    assert (
+        indexed.losses_with_coinbase.flows
+        == reference.losses_with_coinbase.flows
+    )
+    assert indexed.typosquat == reference.typosquat

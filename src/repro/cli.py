@@ -13,10 +13,12 @@ use the default deterministic ETH-USD oracle, so a saved dataset
 re-analyzes to identical numbers anywhere.
 
 Every subcommand takes ``--metrics-out PATH`` (write the run's metrics
-and spans as JSON; ``.prom`` suffix switches to Prometheus text format)
-and ``--trace`` (print the span tree after the command). Progress goes
-to stderr through :mod:`repro.obs.log`; only results are printed to
-stdout, so piping stays clean.
+and spans as JSON; ``.prom`` suffix switches to Prometheus text format),
+``--trace`` (print the span tree after the command), and
+``--profile [N]`` (print the N slowest spans, default 10 — where the
+time went without exporting metrics JSON). Progress goes to stderr
+through :mod:`repro.obs.log`; only results are printed to stdout, so
+piping stays clean.
 """
 
 from __future__ import annotations
@@ -57,6 +59,15 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--trace",
         action="store_true",
         help="print the span tree with per-stage durations",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="N",
+        nargs="?",
+        type=int,
+        const=10,
+        default=None,
+        help="print the N slowest analysis spans after the run (default 10)",
     )
 
 
@@ -124,6 +135,7 @@ class _RunObservability:
         self.tracer = Tracer(registry=self.registry)
         self._metrics_out: str | None = getattr(args, "metrics_out", None)
         self._trace: bool = getattr(args, "trace", False)
+        self._profile: int | None = getattr(args, "profile", None)
 
     def finish(self) -> None:
         if self._metrics_out:
@@ -139,6 +151,16 @@ class _RunObservability:
             print("--- trace ---")
             for line in self.tracer.tree_lines():
                 print(line)
+        if self._profile is not None:
+            closed = [
+                span
+                for span in self.tracer.iter_spans()
+                if span.duration is not None
+            ]
+            closed.sort(key=lambda span: span.duration, reverse=True)
+            print(f"--- profile (top {self._profile} spans) ---")
+            for span in closed[: self._profile]:
+                print(f"  {span.name:<40s} {span.duration:8.3f}s")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:

@@ -8,6 +8,7 @@ from .authoritative import (
     authoritative_losses,
 )
 from .censoring import truncate_dataset
+from .context import AnalysisContext, OwnershipInterval, ScanAccess
 from .descriptive import DatasetOverview, describe_dataset
 from .export import export_figures
 from .comparison import (
@@ -73,6 +74,9 @@ from .typosquat import (
 
 __all__ = [
     "ActorConcentration",
+    "AnalysisContext",
+    "OwnershipInterval",
+    "ScanAccess",
     "AuthoritativeReport",
     "HeuristicAssessment",
     "assess_conservative_heuristic",

@@ -6,6 +6,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
+from .context import AnalysisContext
 from .dropcatch import ReRegistration, find_reregistrations
 
 __all__ = ["ActorConcentration", "actor_concentration"]
@@ -63,10 +64,16 @@ class ActorConcentration:
 
 
 def actor_concentration(
-    dataset: ENSDataset, events: list[ReRegistration] | None = None
+    dataset: ENSDataset,
+    events: list[ReRegistration] | None = None,
+    context: AnalysisContext | None = None,
 ) -> ActorConcentration:
     """Count catches per acquiring address."""
     if events is None:
-        events = find_reregistrations(dataset)
+        events = (
+            context.reregistrations()
+            if context is not None
+            else find_reregistrations(dataset)
+        )
     catches: Counter[str] = Counter(event.new_owner for event in events)
     return ActorConcentration(catches_by_address=dict(catches))

@@ -12,11 +12,16 @@ from __future__ import annotations
 
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import DomainRecord
+from .context import AnalysisContext
 
 __all__ = ["truncate_dataset"]
 
 
-def truncate_dataset(dataset: ENSDataset, cutoff_timestamp: int) -> ENSDataset:
+def truncate_dataset(
+    dataset: ENSDataset,
+    cutoff_timestamp: int,
+    context: AnalysisContext | None = None,
+) -> ENSDataset:
     """A copy of ``dataset`` as a crawl at ``cutoff_timestamp`` would see it.
 
     * registrations created after the cutoff are dropped (a domain whose
@@ -26,9 +31,14 @@ def truncate_dataset(dataset: ENSDataset, cutoff_timestamp: int) -> ENSDataset:
 
     Expiry dates extending past the cutoff are kept as-is: the registrar
     records future expiry dates, and a real crawl sees them.
+
+    Passing the shared ``context`` lets sweeps that truncate to many
+    cutoffs slice one timestamp-ordered permutation of the logs instead
+    of re-filtering them per cutoff.
     """
     if cutoff_timestamp > dataset.crawl_timestamp:
         raise ValueError("cutoff must not exceed the dataset's crawl time")
+    access = context if context is not None else AnalysisContext(dataset)
     truncated = ENSDataset(
         coinbase_addresses=set(dataset.coinbase_addresses),
         custodial_addresses=set(dataset.custodial_addresses),
@@ -56,12 +66,6 @@ def truncate_dataset(dataset: ENSDataset, cutoff_timestamp: int) -> ENSDataset:
                 registrations=kept,
             )
         )
-    truncated.add_transactions(
-        tx for tx in dataset.transactions if tx.timestamp <= cutoff_timestamp
-    )
-    truncated.add_market_events(
-        event
-        for event in dataset.market_events
-        if event.timestamp <= cutoff_timestamp
-    )
+    truncated.add_transactions(access.transactions_until(cutoff_timestamp))
+    truncated.add_market_events(access.market_events_until(cutoff_timestamp))
     return truncated

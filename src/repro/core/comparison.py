@@ -14,8 +14,9 @@ from dataclasses import dataclass
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import DomainRecord, RegistrationRecord
 from ..oracle.ethusd import EthUsdOracle
+from .context import AnalysisContext
 from .control import study_groups
-from .dropcatch import iter_reregistrations
+from .dropcatch import ReRegistration, iter_reregistrations
 from .features.lexical import BOOLEAN_FEATURE_NAMES, extract_lexical
 from .features.transactional import extract_transactional
 from .stats import TestResult, two_proportion_z_test, welch_t_test
@@ -67,12 +68,15 @@ def feature_rows_for(
     dataset: ENSDataset,
     domains: list[DomainRecord],
     oracle: EthUsdOracle,
+    context: AnalysisContext | None = None,
 ) -> list[DomainFeatureRow]:
     """Extract the full feature vector for every domain in a group."""
     rows: list[DomainFeatureRow] = []
     for domain in domains:
         registration = _studied_registration(domain)
-        transactional = extract_transactional(dataset, registration, oracle)
+        transactional = extract_transactional(
+            dataset, registration, oracle, context=context
+        )
         label = domain.label_name or ""
         lexical = extract_lexical(label)
         rows.append(
@@ -142,6 +146,8 @@ def compare_groups(
     dataset: ENSDataset,
     oracle: EthUsdOracle,
     seed: int = 0,
+    events: list[ReRegistration] | None = None,
+    context: AnalysisContext | None = None,
 ) -> FeatureComparison:
     """Build Table 1 for a dataset (sampling the control group).
 
@@ -149,9 +155,11 @@ def compare_groups(
     a degenerate non-significant test rather than crashing — callers on
     degenerate datasets still get a renderable table.
     """
-    reregistered, control = study_groups(dataset, seed=seed)
-    rereg_rows = feature_rows_for(dataset, reregistered, oracle)
-    control_rows = feature_rows_for(dataset, control, oracle)
+    if events is None and context is not None:
+        events = context.reregistrations()
+    reregistered, control = study_groups(dataset, seed=seed, events=events)
+    rereg_rows = feature_rows_for(dataset, reregistered, oracle, context=context)
+    control_rows = feature_rows_for(dataset, control, oracle, context=context)
     testable = len(rereg_rows) >= 2 and len(control_rows) >= 2
 
     def _mean(values: list[float]) -> float:

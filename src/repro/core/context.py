@@ -1,0 +1,372 @@
+"""Shared analysis index: memoized derived artifacts for the §4 analyses.
+
+Every analysis in :mod:`repro.core` reads the same handful of derived
+artifacts — the re-registration event list, per-domain ownership
+intervals, per-address transaction arrays, per-(sender → recipient)
+payment lists. Recomputing them per analysis makes ``build_report``
+effectively O(analyses × events × senders × txs); at paper scale
+(3.1M names, 9.7M wallet transactions) that is days of rescanning.
+
+:class:`AnalysisContext` computes each artifact once and serves every
+consumer from the cache:
+
+* window queries (``incoming_window``) bisect a parallel timestamp
+  vector instead of scanning the address's full history;
+* the §4.4 common-sender heuristic reads pre-grouped
+  (sender → recipient) payment lists;
+* censoring slices a timestamp-ordered permutation of the transaction
+  log instead of filtering it per cutoff.
+
+Caches key on a cheap dataset fingerprint — the monotonic
+:attr:`~repro.datasets.dataset.ENSDataset.version` counter plus the
+collection sizes — and drop themselves whenever it moves, so a mutated
+dataset can never serve stale windows (see ``docs/PERFORMANCE.md``).
+
+:class:`ScanAccess` implements the same query protocol with direct
+scans over the raw dataset — no indexes, no memoization. It is the
+executable specification: ``build_report(..., context=ScanAccess(ds))``
+must produce byte-identical output to the indexed default, and the
+golden-equivalence tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import MarketEventRecord, TxRecord
+from ..obs import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..oracle.ethusd import EthUsdOracle
+    from .dropcatch import ReRegistration
+
+__all__ = ["AnalysisContext", "OwnershipInterval", "ScanAccess"]
+
+CACHE_REQUESTS_METRIC = "analysis_cache_requests_total"
+CACHE_INVALIDATIONS_METRIC = "analysis_cache_invalidations_total"
+
+
+@dataclass(frozen=True, slots=True)
+class OwnershipInterval:
+    """One registration cycle of a domain, with its successor's start.
+
+    ``next_start`` is the registration date of the following cycle, or
+    ``None`` for the final (current) cycle — consumers combine it with
+    the crawl timestamp to bound release windows.
+    """
+
+    registrant: str
+    start: int            # registration_date
+    end: int              # expiry_date
+    next_start: int | None
+
+
+class AnalysisContext:
+    """Invalidation-aware cache of derived analysis artifacts.
+
+    One context is built per report run (or long-lived per dataset —
+    mutations are detected via the dataset fingerprint) and threaded
+    through every analysis. All query methods return exactly what the
+    legacy full-scan code computed, in the same order; only the cost
+    changes.
+    """
+
+    def __init__(
+        self,
+        dataset: ENSDataset,
+        oracle: "EthUsdOracle | None" = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.oracle = oracle
+        self._registry = registry if registry is not None else MetricsRegistry()
+        requests = self._registry.counter(
+            CACHE_REQUESTS_METRIC,
+            "AnalysisContext cache lookups by cache name and outcome",
+            labels=("cache", "outcome"),
+        )
+        self._hit = {
+            name: requests.labels(cache=name, outcome="hit")
+            for name in ("events", "intervals", "incoming", "payments", "tx_order")
+        }
+        self._miss = {
+            name: requests.labels(cache=name, outcome="miss")
+            for name in ("events", "intervals", "incoming", "payments", "tx_order")
+        }
+        self._invalidations = self._registry.counter(
+            CACHE_INVALIDATIONS_METRIC,
+            "Times the AnalysisContext dropped its caches on dataset mutation",
+        )
+        self._fingerprint: tuple[int, int, int, int] | None = None
+        self._events: "list[ReRegistration] | None" = None
+        self._intervals: dict[str, tuple[OwnershipInterval, ...]] = {}
+        self._incoming: dict[str, tuple[list[TxRecord], list[int]]] = {}
+        self._payments: dict[str, dict[str, list[TxRecord]]] = {}
+        self._tx_order: tuple[list[int], list[int]] | None = None
+        self._event_order: tuple[list[int], list[int]] | None = None
+
+    # -- invalidation ------------------------------------------------------
+
+    def _current_fingerprint(self) -> tuple[int, int, int, int]:
+        dataset = self.dataset
+        return (
+            dataset.version,
+            len(dataset.domains),
+            len(dataset.transactions),
+            len(dataset.market_events),
+        )
+
+    def _ensure_fresh(self) -> None:
+        fingerprint = self._current_fingerprint()
+        if fingerprint == self._fingerprint:
+            return
+        if self._fingerprint is not None:
+            self._invalidations.inc()
+        self._fingerprint = fingerprint
+        self._events = None
+        self._intervals.clear()
+        self._incoming.clear()
+        self._payments.clear()
+        self._tx_order = None
+        self._event_order = None
+
+    # -- derived artifacts -------------------------------------------------
+
+    def reregistrations(self) -> "list[ReRegistration]":
+        """The dataset's dropcatch events, memoized (domain order)."""
+        from .dropcatch import find_reregistrations
+
+        self._ensure_fresh()
+        if self._events is None:
+            self._miss["events"].inc()
+            self._events = find_reregistrations(self.dataset)
+        else:
+            self._hit["events"].inc()
+        return self._events
+
+    def ownership_intervals(self, domain_id: str) -> tuple[OwnershipInterval, ...]:
+        """Registration cycles of one domain as :class:`OwnershipInterval`."""
+        self._ensure_fresh()
+        cached = self._intervals.get(domain_id)
+        if cached is not None:
+            self._hit["intervals"].inc()
+            return cached
+        self._miss["intervals"].inc()
+        domain = self.dataset.domains.get(domain_id)
+        registrations = domain.registrations if domain is not None else []
+        intervals = tuple(
+            OwnershipInterval(
+                registrant=registration.registrant,
+                start=registration.registration_date,
+                end=registration.expiry_date,
+                next_start=(
+                    registrations[position + 1].registration_date
+                    if position + 1 < len(registrations)
+                    else None
+                ),
+            )
+            for position, registration in enumerate(registrations)
+        )
+        self._intervals[domain_id] = intervals
+        return intervals
+
+    def _incoming_entry(self, address: str) -> tuple[list[TxRecord], list[int]]:
+        cached = self._incoming.get(address)
+        if cached is not None:
+            self._hit["incoming"].inc()
+            return cached
+        self._miss["incoming"].inc()
+        txs = self.dataset.incoming_of(address)
+        entry = (txs, [tx.timestamp for tx in txs])
+        self._incoming[address] = entry
+        return entry
+
+    def incoming_window(
+        self, address: str, start: int | None, end: int | None
+    ) -> list[TxRecord]:
+        """Successful transfers received by ``address`` with
+        ``start <= timestamp <= end`` (``None`` bounds are open), oldest
+        first — a bisect slice of the cached timestamp vector."""
+        self._ensure_fresh()
+        txs, stamps = self._incoming_entry(address)
+        lo = 0 if start is None else bisect_left(stamps, start)
+        hi = len(stamps) if end is None else bisect_right(stamps, end)
+        return txs[lo:hi]
+
+    def senders_in_window(
+        self,
+        address: str,
+        start: int | None,
+        end: int | None,
+        positive_only: bool = True,
+    ) -> set[str]:
+        """Distinct senders to ``address`` within the window."""
+        window = self.incoming_window(address, start, end)
+        if positive_only:
+            return {tx.from_address for tx in window if tx.value_wei > 0}
+        return {tx.from_address for tx in window}
+
+    def payments(self, sender: str, recipient: str) -> list[TxRecord]:
+        """Positive-value ``sender → recipient`` transfers, oldest first.
+
+        Grouped once per recipient and memoized; repeated candidate
+        probes in the §4.4 detector become dict lookups.
+        """
+        self._ensure_fresh()
+        grouped = self._payments.get(recipient)
+        if grouped is not None:
+            self._hit["payments"].inc()
+        else:
+            self._miss["payments"].inc()
+            txs, _ = self._incoming_entry(recipient)
+            grouped = {}
+            for tx in txs:
+                if tx.value_wei > 0:
+                    grouped.setdefault(tx.from_address, []).append(tx)
+            self._payments[recipient] = grouped
+        return grouped.get(sender, [])
+
+    @staticmethod
+    def _ordered(records: list) -> tuple[list[int], list[int]]:
+        """Timestamp-sorted permutation of ``records`` plus the sorted
+        timestamps; keeping *indices* (not records) lets cutoff slices
+        map back to exact insertion order."""
+        order = sorted(range(len(records)), key=lambda i: records[i].timestamp)
+        stamps = [records[i].timestamp for i in order]
+        return (order, stamps)
+
+    def transactions_until(self, cutoff: int) -> list[TxRecord]:
+        """Transactions with ``timestamp <= cutoff``, in insertion order."""
+        self._ensure_fresh()
+        if self._tx_order is None:
+            self._miss["tx_order"].inc()
+            self._tx_order = self._ordered(self.dataset.transactions)
+        else:
+            self._hit["tx_order"].inc()
+        order, stamps = self._tx_order
+        count = bisect_right(stamps, cutoff)
+        transactions = self.dataset.transactions
+        return [transactions[i] for i in sorted(order[:count])]
+
+    def market_events_until(self, cutoff: int) -> list[MarketEventRecord]:
+        """Market events with ``timestamp <= cutoff``, in insertion order."""
+        self._ensure_fresh()
+        if self._event_order is None:
+            self._miss["tx_order"].inc()
+            self._event_order = self._ordered(self.dataset.market_events)
+        else:
+            self._hit["tx_order"].inc()
+        order, stamps = self._event_order
+        count = bisect_right(stamps, cutoff)
+        events = self.dataset.market_events
+        return [events[i] for i in sorted(order[:count])]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry receiving the cache hit/miss counters."""
+        return self._registry
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """``{cache: {"hit": n, "miss": n}}`` snapshot of the counters."""
+        return {
+            name: {
+                "hit": int(self._hit[name].value),
+                "miss": int(self._miss[name].value),
+            }
+            for name in sorted(self._hit)
+        }
+
+
+class ScanAccess:
+    """Index-free reference implementation of the context protocol.
+
+    Answers every query with a direct scan over the raw dataset, exactly
+    the way the pre-index analyses did. Exists so equivalence is a
+    one-line assertion: the same analysis body run against
+    :class:`ScanAccess` and :class:`AnalysisContext` must agree
+    byte-for-byte.
+    """
+
+    def __init__(
+        self, dataset: ENSDataset, oracle: "EthUsdOracle | None" = None
+    ) -> None:
+        self.dataset = dataset
+        self.oracle = oracle
+
+    def reregistrations(self) -> "list[ReRegistration]":
+        """Recompute the dropcatch events from scratch."""
+        from .dropcatch import find_reregistrations
+
+        return find_reregistrations(self.dataset)
+
+    def ownership_intervals(self, domain_id: str) -> tuple[OwnershipInterval, ...]:
+        """Registration cycles of one domain, computed on the fly."""
+        domain = self.dataset.domains.get(domain_id)
+        registrations = domain.registrations if domain is not None else []
+        return tuple(
+            OwnershipInterval(
+                registrant=registration.registrant,
+                start=registration.registration_date,
+                end=registration.expiry_date,
+                next_start=(
+                    registrations[position + 1].registration_date
+                    if position + 1 < len(registrations)
+                    else None
+                ),
+            )
+            for position, registration in enumerate(registrations)
+        )
+
+    def incoming_window(
+        self, address: str, start: int | None, end: int | None
+    ) -> list[TxRecord]:
+        """Full scan of the address's incoming history."""
+        return [
+            tx
+            for tx in self.dataset.incoming_of(address)
+            if (start is None or tx.timestamp >= start)
+            and (end is None or tx.timestamp <= end)
+        ]
+
+    def senders_in_window(
+        self,
+        address: str,
+        start: int | None,
+        end: int | None,
+        positive_only: bool = True,
+    ) -> set[str]:
+        """Distinct senders within the window, by full scan."""
+        return {
+            tx.from_address
+            for tx in self.dataset.incoming_of(address)
+            if (start is None or tx.timestamp >= start)
+            and (end is None or tx.timestamp <= end)
+            and (not positive_only or tx.value_wei > 0)
+        }
+
+    def payments(self, sender: str, recipient: str) -> list[TxRecord]:
+        """Positive-value sender → recipient transfers, by full scan."""
+        return [
+            tx
+            for tx in self.dataset.incoming_of(recipient)
+            if tx.from_address == sender and tx.value_wei > 0
+        ]
+
+    def transactions_until(self, cutoff: int) -> list[TxRecord]:
+        """Filter the transaction log in insertion order."""
+        return [
+            tx for tx in self.dataset.transactions if tx.timestamp <= cutoff
+        ]
+
+    def market_events_until(self, cutoff: int) -> list[MarketEventRecord]:
+        """Filter the market-event log in insertion order."""
+        return [
+            event
+            for event in self.dataset.market_events
+            if event.timestamp <= cutoff
+        ]

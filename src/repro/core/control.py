@@ -12,14 +12,25 @@ import random
 
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import DomainRecord
-from .dropcatch import expired_domain_ids, reregistered_domain_ids
+from .dropcatch import ReRegistration, expired_domain_ids, reregistered_domain_ids
 
 __all__ = ["control_candidates", "sample_control_group", "study_groups"]
 
 
-def control_candidates(dataset: ENSDataset) -> list[DomainRecord]:
+def _caught_ids(
+    dataset: ENSDataset, events: list[ReRegistration] | None
+) -> set[str]:
+    """Re-registered domain ids, from ``events`` when already computed."""
+    if events is not None:
+        return {event.domain_id for event in events}
+    return reregistered_domain_ids(dataset)
+
+
+def control_candidates(
+    dataset: ENSDataset, events: list[ReRegistration] | None = None
+) -> list[DomainRecord]:
     """Expired-but-never-dropcatched domains, in stable id order."""
-    caught = reregistered_domain_ids(dataset)
+    caught = _caught_ids(dataset, events)
     expired = expired_domain_ids(dataset)
     return [
         dataset.domains[domain_id]
@@ -28,10 +39,13 @@ def control_candidates(dataset: ENSDataset) -> list[DomainRecord]:
 
 
 def sample_control_group(
-    dataset: ENSDataset, size: int, seed: int = 0
+    dataset: ENSDataset,
+    size: int,
+    seed: int = 0,
+    events: list[ReRegistration] | None = None,
 ) -> list[DomainRecord]:
     """Random control sample of ``size`` (capped at the candidate pool)."""
-    candidates = control_candidates(dataset)
+    candidates = control_candidates(dataset, events=events)
     if size >= len(candidates):
         return candidates
     rng = random.Random(seed)
@@ -39,10 +53,14 @@ def sample_control_group(
 
 
 def study_groups(
-    dataset: ENSDataset, seed: int = 0
+    dataset: ENSDataset,
+    seed: int = 0,
+    events: list[ReRegistration] | None = None,
 ) -> tuple[list[DomainRecord], list[DomainRecord]]:
     """(re-registered group, equal-size control group) — the Table-1 setup."""
-    caught_ids = reregistered_domain_ids(dataset)
+    caught_ids = _caught_ids(dataset, events)
     reregistered = [dataset.domains[domain_id] for domain_id in sorted(caught_ids)]
-    control = sample_control_group(dataset, size=len(reregistered), seed=seed)
+    control = sample_control_group(
+        dataset, size=len(reregistered), seed=seed, events=events
+    )
     return reregistered, control

@@ -88,7 +88,11 @@ def describe_dataset(dataset: ENSDataset) -> DatasetOverview:
     median_length = (
         length_values[len(length_values) // 2] if length_values else 0
     )
-    failed = sum(1 for tx in dataset.transactions if tx.is_error)
+    failed = sum(
+        1
+        for tx in dataset.transactions  # lint: ignore[perf-full-tx-scan] one-shot whole-log stat
+        if tx.is_error
+    )
     return DatasetOverview(
         domains=dataset.domain_count,
         subdomains=subdomains,

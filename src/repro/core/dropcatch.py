@@ -120,9 +120,12 @@ class DropcatchSummary:
         )
 
 
-def summarize(dataset: ENSDataset) -> DropcatchSummary:
+def summarize(
+    dataset: ENSDataset, events: list[ReRegistration] | None = None
+) -> DropcatchSummary:
     """One-pass overview of dropcatching in a dataset."""
-    events = find_reregistrations(dataset)
+    if events is None:
+        events = find_reregistrations(dataset)
     events_per_domain: dict[str, int] = {}
     for event in events:
         events_per_domain[event.domain_id] = events_per_domain.get(event.domain_id, 0) + 1

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ...datasets.dataset import ENSDataset
 from ...datasets.schema import RegistrationRecord
 from ...oracle.ethusd import EthUsdOracle
+from ..context import AnalysisContext
 
 __all__ = ["TransactionalFeatures", "extract_transactional"]
 
@@ -31,23 +32,23 @@ def extract_transactional(
     registration: RegistrationRecord,
     oracle: EthUsdOracle,
     window_end: int | None = None,
+    context: AnalysisContext | None = None,
 ) -> TransactionalFeatures:
     """Income profile of ``registration``'s wallet during its tenure.
 
     ``window_end`` defaults to the registration's expiry; pass a later
-    timestamp to include the residual-resolution window.
+    timestamp to include the residual-resolution window. Callers that
+    extract features for many registrations should pass the shared
+    ``context`` so repeated wallets hit the cached per-address index.
     """
     wallet = registration.registrant
     start = registration.registration_date
     end = window_end if window_end is not None else registration.expiry_date
+    access = context if context is not None else AnalysisContext(dataset, oracle)
     income = 0.0
     senders: set[str] = set()
     count = 0
-    for tx in dataset.incoming_of(wallet):
-        if tx.timestamp < start:
-            continue
-        if tx.timestamp > end:
-            break  # incoming_of is time-sorted
+    for tx in access.incoming_window(wallet, start, end):
         income += oracle.wei_to_usd(tx.value_wei, tx.timestamp)
         senders.add(tx.from_address)
         count += 1

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
-from ..datasets.schema import DomainRecord, TxRecord
+from ..datasets.schema import TxRecord
 from ..ens.premium import GRACE_PERIOD_DAYS
 from ..oracle.ethusd import EthUsdOracle
+from .context import AnalysisContext
 
 __all__ = ["HijackableWindow", "HijackableReport", "find_hijackable"]
 
@@ -69,55 +70,35 @@ class HijackableReport:
         return sum(self.usd_per_domain())
 
 
-def _release_windows(
-    domain: DomainRecord, cutoff: int
-) -> list[tuple[int, int, str, int, int]]:
-    """(window_start, window_end, wallet, own_start, own_end) tuples."""
-    windows = []
-    registrations = domain.registrations
-    for position, registration in enumerate(registrations):
-        release = registration.expiry_date + _GRACE_SECONDS
-        if position + 1 < len(registrations):
-            window_end = registrations[position + 1].registration_date
-        else:
-            window_end = cutoff
-        if window_end > release:
-            windows.append(
-                (
-                    release,
-                    window_end,
-                    registration.registrant,
-                    registration.registration_date,
-                    registration.expiry_date,
-                )
-            )
-    return windows
-
-
 def find_hijackable(
     dataset: ENSDataset,
     oracle: EthUsdOracle,
     require_prior_relationship: bool = True,
+    context: AnalysisContext | None = None,
 ) -> HijackableReport:
     """Scan every domain's released windows for captured-able funds."""
+    access = context if context is not None else AnalysisContext(dataset, oracle)
     cutoff = dataset.crawl_timestamp
     windows: list[HijackableWindow] = []
     for domain in dataset.iter_domains():
-        for release, window_end, wallet, own_start, own_end in _release_windows(
-            domain, cutoff
-        ):
-            incoming = dataset.incoming_of(wallet)
+        for interval in access.ownership_intervals(domain.domain_id):
+            release = interval.end + _GRACE_SECONDS
+            window_end = (
+                interval.next_start if interval.next_start is not None else cutoff
+            )
+            if window_end <= release:
+                continue
+            wallet = interval.registrant
             if require_prior_relationship:
-                prior_senders = {
-                    tx.from_address
-                    for tx in incoming
-                    if own_start <= tx.timestamp <= own_end
-                }
+                prior_senders = access.senders_in_window(
+                    wallet, interval.start, interval.end, positive_only=False
+                )
+            # release is exclusive: with integer timestamps, ts > release
+            # is the closed window starting at release + 1
             exposed = tuple(
                 tx
-                for tx in incoming
-                if release < tx.timestamp <= window_end
-                and tx.value_wei > 0
+                for tx in access.incoming_window(wallet, release + 1, window_end)
+                if tx.value_wei > 0
                 and (
                     not require_prior_relationship
                     or tx.from_address in prior_senders

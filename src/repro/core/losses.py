@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import TxRecord
 from ..oracle.ethusd import EthUsdOracle
-from .dropcatch import ReRegistration, find_reregistrations
+from .context import AnalysisContext
+from .dropcatch import ReRegistration
 
 __all__ = ["MisdirectedFlow", "LossReport", "detect_losses"]
 
@@ -116,15 +117,26 @@ def detect_losses(
     events: list[ReRegistration] | None = None,
     require_prior_relationship: bool = True,
     enforce_never_again: bool = True,
+    context: AnalysisContext | None = None,
 ) -> LossReport:
     """Run the conservative detector over every dropcatch.
 
     ``require_prior_relationship`` and ``enforce_never_again`` relax
     individual predicates for the ablation benchmarks; both default to
     the paper's strict behaviour.
+
+    ``context`` is the shared analysis index (any object implementing
+    its query protocol, e.g. :class:`~repro.core.context.ScanAccess`);
+    one is built on the fly when omitted. The payment lists it serves
+    are timestamp-sorted, which lets the window predicates read the
+    endpoints instead of scanning: condition 3 holds iff the first and
+    last ``c → a2`` payments sit inside the holding window, and "never
+    again to a1" holds iff the last ``c → a1`` payment precedes the
+    first ``c → a2`` one.
     """
+    access = context if context is not None else AnalysisContext(dataset, oracle)
     if events is None:
-        events = find_reregistrations(dataset)
+        events = access.reregistrations()
     cutoff = dataset.crawl_timestamp or None
     flows: list[MisdirectedFlow] = []
     for event in events:
@@ -135,12 +147,7 @@ def detect_losses(
         hold_end = event.next.expiry_date
         if cutoff is not None:
             hold_end = min(hold_end, cutoff)
-        incoming_a2 = dataset.incoming_of(a2)
-        senders_to_a2 = {
-            tx.from_address
-            for tx in incoming_a2
-            if hold_start <= tx.timestamp <= hold_end and tx.value_wei > 0
-        }
+        senders_to_a2 = access.senders_in_window(a2, hold_start, hold_end)
         for candidate in sorted(senders_to_a2):
             if candidate in (a1, a2):
                 continue
@@ -149,21 +156,14 @@ def detect_losses(
             is_coinbase = candidate in dataset.coinbase_addresses
             if is_coinbase and not include_coinbase:
                 continue
-            c_to_a2 = [
-                tx for tx in incoming_a2
-                if tx.from_address == candidate and tx.value_wei > 0
-            ]
+            c_to_a2 = access.payments(candidate, a2)
             # condition 3: no payments to a2 outside its holding window
-            if any(
-                tx.timestamp < hold_start or tx.timestamp > hold_end
-                for tx in c_to_a2
+            if (
+                c_to_a2[0].timestamp < hold_start
+                or c_to_a2[-1].timestamp > hold_end
             ):
                 continue
-            c_to_a1 = [
-                tx
-                for tx in dataset.incoming_of(a1)
-                if tx.from_address == candidate and tx.value_wei > 0
-            ]
+            c_to_a1 = access.payments(candidate, a1)
             if not c_to_a1:
                 continue
             # condition 1: a payment during a1's actual ownership
@@ -174,11 +174,9 @@ def detect_losses(
                 for tx in c_to_a1
             ):
                 continue
-            first_to_a2 = min(tx.timestamp for tx in c_to_a2)
+            first_to_a2 = c_to_a2[0].timestamp
             # condition 2: never again to a1
-            if enforce_never_again and any(
-                tx.timestamp >= first_to_a2 for tx in c_to_a1
-            ):
+            if enforce_never_again and c_to_a1[-1].timestamp >= first_to_a2:
                 continue
             flows.append(
                 MisdirectedFlow(
@@ -189,9 +187,7 @@ def detect_losses(
                     sender=candidate,
                     sender_is_coinbase=is_coinbase,
                     txs_to_previous=len(c_to_a1),
-                    txs_to_new=tuple(
-                        sorted(c_to_a2, key=lambda tx: tx.timestamp)
-                    ),
+                    txs_to_new=tuple(c_to_a2),
                 )
             )
     return LossReport(flows=flows, oracle=oracle, include_coinbase=include_coinbase)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
 from ..oracle.ethusd import EthUsdOracle
+from .context import AnalysisContext
 from .dropcatch import ReRegistration, find_reregistrations
 from .losses import LossReport, detect_losses
 
@@ -73,12 +74,17 @@ def analyze_profit(
     oracle: EthUsdOracle,
     losses: LossReport | None = None,
     events: list[ReRegistration] | None = None,
+    context: AnalysisContext | None = None,
 ) -> ProfitReport:
     """Pair each loss-receiving catch with its registration cost."""
     if events is None:
-        events = find_reregistrations(dataset)
+        events = (
+            context.reregistrations()
+            if context is not None
+            else find_reregistrations(dataset)
+        )
     if losses is None:
-        losses = detect_losses(dataset, oracle, events=events)
+        losses = detect_losses(dataset, oracle, events=events, context=context)
     income_by_key: dict[tuple[str, str], float] = {}
     for flow in losses.flows:
         key = (flow.domain_id, flow.new_owner)

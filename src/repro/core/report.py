@@ -17,7 +17,8 @@ from ..obs.tracing import Tracer
 from ..oracle.ethusd import EthUsdOracle
 from .actors import ActorConcentration, actor_concentration
 from .comparison import FeatureComparison, compare_groups
-from .dropcatch import DropcatchSummary, find_reregistrations, summarize
+from .context import AnalysisContext
+from .dropcatch import DropcatchSummary, summarize
 from .hijackable import HijackableReport, find_hijackable
 from .losses import LossReport, detect_losses
 from .profit import ProfitReport, analyze_profit
@@ -89,38 +90,54 @@ def build_report(
     *,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    context: AnalysisContext | None = None,
 ) -> HeadlineReport:
-    """Run every analysis once, sharing the re-registration scan."""
+    """Run every analysis once over a shared analysis index.
+
+    ``context`` defaults to a fresh :class:`AnalysisContext` wired to
+    ``registry`` (cache hit/miss counters land in the metrics export);
+    pass :class:`~repro.core.context.ScanAccess` to force the index-free
+    reference path — the output must be identical either way.
+    """
     if tracer is None:
         tracer = Tracer(registry=registry)
+    if context is None:
+        context = AnalysisContext(dataset, oracle, registry=registry)
     with tracer.span("analyze"):
         with tracer.span("analyze.reregistrations"):
-            events = find_reregistrations(dataset)
+            events = context.reregistrations()
         with tracer.span("analyze.summary"):
-            summary = summarize(dataset)
+            summary = summarize(dataset, events=events)
         with tracer.span("analyze.timing"):
             delays = delay_distribution(dataset, events=events)
         with tracer.span("analyze.actors"):
             actors = actor_concentration(dataset, events=events)
         with tracer.span("analyze.comparison"):
-            comparison = compare_groups(dataset, oracle, seed=seed)
+            comparison = compare_groups(
+                dataset, oracle, seed=seed, events=events, context=context
+            )
         with tracer.span("analyze.resale"):
             resale = analyze_resale(dataset, oracle, events=events)
         with tracer.span("analyze.losses"):
             losses_all = detect_losses(
-                dataset, oracle, include_coinbase=True, events=events
+                dataset, oracle, include_coinbase=True, events=events,
+                context=context,
             )
             losses_noncustodial = detect_losses(
-                dataset, oracle, include_coinbase=False, events=events
+                dataset, oracle, include_coinbase=False, events=events,
+                context=context,
             )
         with tracer.span("analyze.hijackable"):
-            hijackable = find_hijackable(dataset, oracle)
+            hijackable = find_hijackable(dataset, oracle, context=context)
         with tracer.span("analyze.profit"):
             profit = analyze_profit(
-                dataset, oracle, losses=losses_all, events=events
+                dataset, oracle, losses=losses_all, events=events,
+                context=context,
             )
         with tracer.span("analyze.typosquat"):
-            typosquat = find_typosquat_catches(dataset, oracle, events=events)
+            typosquat = find_typosquat_catches(
+                dataset, oracle, events=events, context=context
+            )
     if registry is not None:
         passes = registry.gauge(
             "analysis_output_count",

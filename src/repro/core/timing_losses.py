@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import TxRecord
 from ..oracle.ethusd import EthUsdOracle
-from .dropcatch import ReRegistration, find_reregistrations
+from .context import AnalysisContext
+from .dropcatch import ReRegistration
 from .losses import LossReport
 
 __all__ = ["TimingFlow", "TimingLossReport", "detect_losses_by_timing",
@@ -75,11 +76,13 @@ def detect_losses_by_timing(
     oracle: EthUsdOracle,
     events: list[ReRegistration] | None = None,
     window_days: int = _DEFAULT_WINDOW_DAYS,
+    context: AnalysisContext | None = None,
 ) -> TimingLossReport:
     """Flag payments to a2 within ``window_days`` of the catch from any
     sender that ever paid a1 before the catch (custodial filtered)."""
+    access = context if context is not None else AnalysisContext(dataset, oracle)
     if events is None:
-        events = find_reregistrations(dataset)
+        events = access.reregistrations()
     window_seconds = window_days * 86_400
     flows: list[TimingFlow] = []
     for event in events:
@@ -87,20 +90,16 @@ def detect_losses_by_timing(
         if a1 == a2:
             continue
         caught_at = event.next.registration_date
-        prior_senders = {
-            tx.from_address
-            for tx in dataset.incoming_of(a1)
-            if tx.timestamp < caught_at and tx.value_wei > 0
-        }
+        # strictly-before the catch; timestamps are ints, so < caught_at
+        # is the closed window ending at caught_at - 1
+        prior_senders = access.senders_in_window(a1, None, caught_at - 1)
         prior_senders -= dataset.custodial_addresses
         prior_senders.discard(a1)
         prior_senders.discard(a2)
         if not prior_senders:
             continue
         hits: dict[str, list[TxRecord]] = {}
-        for tx in dataset.incoming_of(a2):
-            if not caught_at <= tx.timestamp <= caught_at + window_seconds:
-                continue
+        for tx in access.incoming_window(a2, caught_at, caught_at + window_seconds):
             if tx.value_wei > 0 and tx.from_address in prior_senders:
                 hits.setdefault(tx.from_address, []).append(tx)
         for sender, txs in sorted(hits.items()):

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
 from ..oracle.ethusd import EthUsdOracle
+from .context import AnalysisContext
 from .dropcatch import ReRegistration, find_reregistrations
 from .features.transactional import extract_transactional
 
@@ -60,10 +61,48 @@ def damerau_levenshtein(first: str, second: str) -> int:
     return previous[len_b]
 
 
+def _within_one_edit(first: str, second: str) -> bool:
+    """O(n) decision for restricted Damerau-Levenshtein distance <= 1.
+
+    Distance <= 1 admits exactly four shapes — equality, one
+    substitution, one adjacent transposition (equal lengths), or one
+    insertion/deletion (lengths differing by one) — each checkable by
+    scanning to the first mismatch, without the quadratic DP table.
+    """
+    if first == second:
+        return True
+    len_a, len_b = len(first), len(second)
+    if len_a == len_b:
+        i = 0
+        while first[i] == second[i]:
+            i += 1
+        j = len_a - 1
+        while j > i and first[j] == second[j]:
+            j -= 1
+        if i == j:
+            return True  # single substitution
+        return (
+            j == i + 1 and first[i] == second[j] and first[j] == second[i]
+        )  # adjacent transposition
+    if abs(len_a - len_b) != 1:
+        return False
+    longer, shorter = (first, second) if len_a > len_b else (second, first)
+    i = 0
+    while i < len(shorter) and longer[i] == shorter[i]:
+        i += 1
+    return longer[i + 1 :] == shorter[i:]  # single insertion/deletion
+
+
 def within_edit_distance(first: str, second: str, k: int = 1) -> bool:
-    """Bounded check with a cheap length prefilter."""
+    """Bounded check with a cheap length prefilter.
+
+    The common screening bound ``k=1`` takes a linear fast path; wider
+    bounds fall back to the full DP.
+    """
     if abs(len(first) - len(second)) > k:
         return False
+    if k == 1:
+        return _within_one_edit(first, second)
     return damerau_levenshtein(first, second) <= k
 
 
@@ -101,6 +140,7 @@ def find_typosquat_catches(
     min_target_income_usd: float = 10_000.0,
     max_distance: int = 1,
     exclude_numeric_pairs: bool = True,
+    context: AnalysisContext | None = None,
 ) -> TyposquatReport:
     """Match dropcaught labels against high-income target names.
 
@@ -110,17 +150,23 @@ def find_typosquat_catches(
     digits — the short numeric "clubs" are all one edit apart by
     construction, which is proximity, not typosquatting.
     """
+    access = context if context is not None else AnalysisContext(dataset, oracle)
     if events is None:
-        events = find_reregistrations(dataset)
+        events = access.reregistrations()
     targets: dict[str, float] = {}
     for domain in dataset.iter_domains():
         if not domain.label_name or not domain.registrations:
             continue
         income = extract_transactional(
-            dataset, domain.registrations[0], oracle
+            dataset, domain.registrations[0], oracle, context=access
         ).income_usd
         if income >= min_target_income_usd:
             targets[domain.label_name] = income
+    # hoist the per-target predicates; order must stay dict insertion
+    # order — candidates keep the FIRST matching target
+    target_rows = [
+        (label, income, label.isdigit()) for label, income in targets.items()
+    ]
 
     candidates: list[TyposquatCandidate] = []
     screened = 0
@@ -129,14 +175,11 @@ def find_typosquat_catches(
             continue
         caught_label = event.name.removesuffix(".eth")
         screened += 1
-        for target_label, income in targets.items():
+        caught_is_digit = caught_label.isdigit()
+        for target_label, income, target_is_digit in target_rows:
             if target_label == caught_label:
                 continue
-            if (
-                exclude_numeric_pairs
-                and caught_label.isdigit()
-                and target_label.isdigit()
-            ):
+            if exclude_numeric_pairs and caught_is_digit and target_is_digit:
                 continue
             if within_edit_distance(caught_label, target_label, max_distance):
                 candidates.append(

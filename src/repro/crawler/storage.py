@@ -91,10 +91,10 @@ def load_dataset(directory: str | Path) -> ENSDataset:
     )
     for domain in _read_jsonl(directory / _DOMAINS_FILE, DomainRecord.from_dict):
         dataset.add_domain(domain)
-    dataset.transactions = _read_jsonl(
-        directory / _TRANSACTIONS_FILE, TxRecord.from_dict
+    dataset.add_transactions(
+        _read_jsonl(directory / _TRANSACTIONS_FILE, TxRecord.from_dict)
     )
-    dataset.market_events = _read_jsonl(
-        directory / _MARKET_FILE, MarketEventRecord.from_dict
+    dataset.add_market_events(
+        _read_jsonl(directory / _MARKET_FILE, MarketEventRecord.from_dict)
     )
     return dataset

@@ -4,6 +4,11 @@ The crawler produces one :class:`ENSDataset`; every analysis in
 :mod:`repro.core` consumes one. Builds the secondary indexes the
 analyses need (transactions by address/direction, registrant activity)
 once, up front.
+
+Every mutator bumps :attr:`ENSDataset.version`, a monotonic counter
+that derived-artifact caches (:class:`repro.core.context.AnalysisContext`)
+use as a cheap dataset fingerprint — see ``docs/PERFORMANCE.md`` for
+the invalidation contract.
 """
 
 from __future__ import annotations
@@ -38,25 +43,46 @@ class ENSDataset:
         default_factory=dict, repr=False, compare=False
     )
     _indexed: bool = field(default=False, repr=False, compare=False)
+    _version: int = field(default=0, repr=False, compare=False)
+    _tx_hashes: set[str] = field(default_factory=set, repr=False, compare=False)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every mutator.
+
+        Derived-artifact caches key on this (plus the collection sizes)
+        to decide whether their memoized indexes are still valid.
+        """
+        return self._version
 
     # -- construction ------------------------------------------------------------
 
     def add_domain(self, domain: DomainRecord) -> None:
         """Insert or replace one domain record."""
         self.domains[domain.domain_id] = domain
+        self._version += 1
 
     def add_transactions(self, records: Iterable[TxRecord]) -> None:
-        """Append transactions, dropping duplicates by hash."""
-        known = {tx.tx_hash for tx in self.transactions}
+        """Append transactions, dropping duplicates by hash.
+
+        Dedup state is kept incrementally in ``_tx_hashes`` so repeated
+        batches cost O(batch), not O(total transactions) per call.
+        """
+        if len(self._tx_hashes) != len(self.transactions):
+            # the transaction list was replaced/mutated directly; resync once
+            self._tx_hashes = {tx.tx_hash for tx in self.transactions}
+        known = self._tx_hashes
         for record in records:
             if record.tx_hash not in known:
                 known.add(record.tx_hash)
                 self.transactions.append(record)
         self._indexed = False
+        self._version += 1
 
     def add_market_events(self, records: Iterable[MarketEventRecord]) -> None:
         """Append market events to the dataset."""
         self.market_events.extend(records)
+        self._version += 1
 
     # -- indexes -------------------------------------------------------------------
 

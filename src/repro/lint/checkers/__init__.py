@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     layering,
     mutable_defaults,
     obs_hygiene,
+    perf,
     public_api,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "layering",
     "mutable_defaults",
     "obs_hygiene",
+    "perf",
     "public_api",
 ]

@@ -11,7 +11,7 @@ import higher ones)::
     datasets, ens, indexer, oracle              (protocol + data models)
     crawler, explorer, marketplace, simulation  (services over the protocol)
     core                                        (the paper's analyses)
-    wallets                                     (Appendix-B study, uses core)
+    perf, wallets                               (index alias / Appendix-B study)
     cli                                         (user interface, imports all)
 
 Two rules:
@@ -47,6 +47,7 @@ LAYERS: dict[str, int] = {
     "marketplace": 3,
     "simulation": 3,
     "core": 4,
+    "perf": 5,       # alias over core.context; re-exports, never imported by core
     "wallets": 5,
     "cli": 6,
 }

@@ -84,11 +84,21 @@ class EthUsdOracle:
             raise ValueError("anchor prices must be positive")
         object.__setattr__(self, "_anchor_days", days)
         object.__setattr__(self, "_anchor_logs", [math.log(p) for p in prices])
+        object.__setattr__(self, "_day_close_cache", {})
 
     # -- price queries ------------------------------------------------------
 
     def close_on_day(self, day_number: int) -> float:
-        """USD close for an absolute day number (unix epoch days)."""
+        """USD close for an absolute day number (unix epoch days).
+
+        The series is pure in ``day_number``, so closes are memoized per
+        day — analyses convert thousands of amounts on the same few
+        hundred days, and the log-interp + sine noise is the hot path.
+        """
+        cache: dict[int, float] = self._day_close_cache  # type: ignore[attr-defined]
+        cached = cache.get(day_number)
+        if cached is not None:
+            return cached
         days: list[int] = self._anchor_days  # type: ignore[attr-defined]
         logs: list[float] = self._anchor_logs  # type: ignore[attr-defined]
         if day_number <= days[0]:
@@ -101,7 +111,9 @@ class EthUsdOracle:
             span = days[hi] - days[lo]
             weight = (day_number - days[lo]) / span
             base = logs[lo] + weight * (logs[hi] - logs[lo])
-        return math.exp(base + self._noise(day_number))
+        close = math.exp(base + self._noise(day_number))
+        cache[day_number] = close
+        return close
 
     def _noise(self, day_number: int) -> float:
         """Smooth deterministic wobble: a fixed sum of incommensurate sines."""

@@ -1,0 +1,20 @@
+"""Performance layer: the shared analysis index, under its own name.
+
+The implementation lives in :mod:`repro.core.context` (it must sit
+inside ``repro.core`` to stay below the analyses in the import tower),
+but the concept — derived-artifact caching keyed on the dataset
+fingerprint — is a subsystem of its own, so it is addressable as
+``repro.perf`` too::
+
+    from repro.perf import AnalysisContext
+
+    context = AnalysisContext(dataset, oracle)
+    report = build_report(dataset, oracle, context=context)
+
+See ``docs/PERFORMANCE.md`` for the index design and the
+fingerprint/invalidation contract.
+"""
+
+from ..core.context import AnalysisContext, OwnershipInterval, ScanAccess
+
+__all__ = ["AnalysisContext", "OwnershipInterval", "ScanAccess"]

@@ -47,6 +47,46 @@ class TestDistance:
         assert not within_edit_distance("gold", "mint", 1)
 
 
+class TestOneEditFastPath:
+    """The k=1 linear path must agree with the DP everywhere."""
+
+    @pytest.mark.parametrize("a,b", [
+        ("gold", "gold"),      # equal
+        ("gold", "bold"),      # substitution
+        ("gold", "glod"),      # adjacent transposition
+        ("gold", "golds"),     # insertion
+        ("gold", "old"),       # deletion at the front
+        ("gold", "gol"),       # deletion at the back
+        ("", "a"),
+        ("", ""),
+        ("ab", "ba"),          # transposition of the whole string
+        ("ab", "bc"),          # two substitutions disguised as a swap
+        ("abc", "cba"),        # mirrored, distance 2
+        ("abcde", "xbcdy"),    # two far-apart substitutions
+        ("aa", "aaa"),         # repeated characters, insertion
+        ("abab", "baba"),      # needs two transpositions
+    ])
+    def test_directed_cases(self, a: str, b: str) -> None:
+        assert within_edit_distance(a, b, 1) == (damerau_levenshtein(a, b) <= 1)
+
+    @given(st.text(alphabet="abc", max_size=8), st.text(alphabet="abc", max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_dp(self, a: str, b: str) -> None:
+        assert within_edit_distance(a, b, 1) == (damerau_levenshtein(a, b) <= 1)
+
+    @given(st.text(alphabet="ab", max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_every_single_edit_is_within_one(self, word: str) -> None:
+        for i in range(len(word) + 1):
+            assert within_edit_distance(word, word[:i] + "c" + word[i:], 1)
+        for i in range(len(word)):
+            assert within_edit_distance(word, word[:i] + word[i + 1 :], 1)
+            assert within_edit_distance(word, word[:i] + "c" + word[i + 1 :], 1)
+        for i in range(len(word) - 1):
+            swapped = word[:i] + word[i + 1] + word[i] + word[i + 2 :]
+            assert within_edit_distance(word, swapped, 1)
+
+
 class TestScreening:
     def _world(self):
         # rich target "gold", its typo "golb" gets dropcaught,

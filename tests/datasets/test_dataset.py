@@ -39,6 +39,38 @@ class TestIndexes:
         dataset.add_transactions([tx])
         assert dataset.transaction_count == 1
 
+    def test_dedup_across_many_batches(self) -> None:
+        # dedup state persists batch-to-batch (no per-call set rebuild)
+        dataset = ENSDataset()
+        for batch in range(5):
+            dataset.add_transactions(
+                [
+                    make_tx("0xa", "0xb", day)
+                    for day in range(100, 100 + 2 * (batch + 1))
+                ]
+            )
+        assert dataset.transaction_count == 10
+        assert [tx.timestamp for tx in dataset.transactions] == sorted(
+            set(tx.timestamp for tx in dataset.transactions)
+        )
+
+    def test_dedup_survives_direct_list_replacement(self) -> None:
+        first = make_tx("0xa", "0xb", 100)
+        second = make_tx("0xa", "0xb", 200)
+        dataset = ENSDataset()
+        dataset.add_transactions([first])
+        dataset.transactions = [second]  # legacy direct assignment
+        dataset.add_transactions([first, second])
+        assert dataset.transaction_count == 2
+
+    def test_version_bumped_by_every_mutator(self) -> None:
+        dataset = ENSDataset()
+        v0 = dataset.version
+        dataset.add_domain(make_domain("d", [make_registration("0xr", 100, 465)]))
+        dataset.add_transactions([make_tx("0xa", "0xb", 100)])
+        dataset.add_market_events([])
+        assert dataset.version == v0 + 3
+
     def test_index_rebuilt_after_append(self) -> None:
         dataset = make_dataset([], [make_tx("0xa", "0xb", 100)])
         assert len(dataset.incoming_of("0xb")) == 1

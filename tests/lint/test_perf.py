@@ -1,0 +1,91 @@
+"""Perf checker: full transaction-log scans stay out of the analyses."""
+
+from __future__ import annotations
+
+
+class TestFullTxScan:
+    def test_flags_for_loop_in_core(self, rule_ids) -> None:
+        assert "perf-full-tx-scan" in rule_ids(
+            """
+            def count(dataset):
+                total = 0
+                for tx in dataset.transactions:
+                    total += tx.value_wei
+                return total
+            """,
+            rules=["perf"],
+        )
+
+    def test_flags_comprehension_in_core(self, rule_ids) -> None:
+        assert "perf-full-tx-scan" in rule_ids(
+            """
+            def late(dataset, cutoff):
+                return [tx for tx in dataset.transactions if tx.timestamp > cutoff]
+            """,
+            rules=["perf"],
+        )
+
+    def test_flags_generator_expression(self, rule_ids) -> None:
+        assert "perf-full-tx-scan" in rule_ids(
+            """
+            def failed(dataset):
+                return sum(1 for tx in dataset.transactions if tx.is_error)
+            """,
+            rules=["perf"],
+        )
+
+    def test_index_layer_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def order(self):
+                return [tx.timestamp for tx in self.dataset.transactions]
+            """,
+            module="repro.core.context",
+            path="src/repro/core/context.py",
+            rules=["perf"],
+        ) == []
+
+    def test_outside_core_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def dump(dataset):
+                return [tx.as_dict() for tx in dataset.transactions]
+            """,
+            module="repro.crawler.storage",
+            path="src/repro/crawler/storage.py",
+            rules=["perf"],
+        ) == []
+
+    def test_scripts_are_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            for tx in dataset.transactions:
+                print(tx)
+            """,
+            module=None,
+            path="benchmarks/bench_thing.py",
+            rules=["perf"],
+        ) == []
+
+    def test_other_attributes_not_flagged(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def walk(dataset):
+                for domain in dataset.domains.values():
+                    yield domain
+            """,
+            rules=["perf"],
+        ) == []
+
+    def test_suppression_comment(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def failed(dataset):
+                return sum(
+                    1
+                    for tx in dataset.transactions  # lint: ignore[perf-full-tx-scan] one-shot stat
+                    if tx.is_error
+                )
+            """,
+            rules=["perf"],
+        ) == []

@@ -132,6 +132,19 @@ class TestObservabilityFlags:
         assert "analyze.reregistrations" in output
         assert "s" in output  # durations rendered
 
+    def test_analyze_profile_prints_slowest_spans(
+        self, saved_dataset, capsys
+    ) -> None:
+        assert main(["analyze", str(saved_dataset), "--profile", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "--- profile (top 5 spans) ---" in output
+        assert "analyze" in output
+
+    def test_report_profile_defaults_to_ten(self, capsys) -> None:
+        assert main(["report", "--domains", "150", "--seed", "3", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "--- profile (top 10 spans) ---" in output
+
     def test_analyze_metrics_out_has_analysis_gauges(
         self, saved_dataset, tmp_path
     ) -> None:

@@ -1,0 +1,91 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--threshold 2.0]
+
+Benchmarks are matched by their pytest ``fullname``. A benchmark
+regresses when its current mean exceeds ``threshold`` times the
+baseline mean; any regression makes the script exit non-zero with a
+per-benchmark table on stdout. Benchmarks present on only one side are
+reported but never fail the check (the sweep is configurable via
+``REPRO_BENCH_SCALES``, so baseline and CI runs may legitimately cover
+different scales).
+
+The threshold is deliberately loose (2x by default): this is a smoke
+check against order-of-magnitude regressions — e.g. an analysis
+quietly bypassing the shared index — not a microbenchmark gate. CI
+runners are noisy; tighten locally, not in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Return the fullnames that regressed past the threshold."""
+    regressions: list[str] = []
+    shared = sorted(set(baseline) & set(current))
+    width = max((len(name) for name in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] else float("inf")
+        marker = "  << REGRESSION" if ratio > threshold else ""
+        print(
+            f"{name:<{width}}  {baseline[name]:>9.4f}s  {current[name]:>9.4f}s"
+            f"  {ratio:4.2f}x{marker}"
+        )
+        if ratio > threshold:
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name}: only in baseline (skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name}: new benchmark, no baseline (skipped)")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean > threshold * baseline mean (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    regressions = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold
+    )
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than"
+            f" {args.threshold:.1f}x baseline"
+        )
+        return 1
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
