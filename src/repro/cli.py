@@ -3,6 +3,8 @@
 The workflows of the repository as one tool::
 
     repro simulate --domains 1000 --seed 7 --out ./crawl   # build + crawl + save
+    repro crawl --faults plan.json --checkpoint-dir ./ckpt \
+        --checkpoint-every 25 --resume                     # chaos / durable crawl
     repro analyze ./crawl                                  # headline report
     repro predict ./crawl                                  # risk predictor
     repro report --domains 800                             # all-in-one, in memory
@@ -28,7 +30,8 @@ import sys
 from typing import Sequence
 
 from .core import build_report, train_reregistration_predictor
-from .crawler import load_dataset, save_dataset
+from .crawler import CheckpointConfig, dataset_digest, load_dataset, save_dataset
+from .faults import CrawlKilled, load_plan
 from .lint.cli import add_lint_arguments
 from .lint.cli import run as _cmd_lint
 from .obs import (
@@ -86,6 +89,39 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument("--out", required=True, help="output dataset directory")
 
+    crawl = subparsers.add_parser(
+        "crawl",
+        help="run the crawl pipeline, optionally under fault injection"
+        " and/or with durable checkpoints",
+    )
+    crawl.add_argument("--domains", type=int, default=1000)
+    crawl.add_argument("--seed", type=int, default=7)
+    crawl.add_argument("--out", default=None, help="save the dataset here")
+    crawl.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="deterministic fault plan (repro.faults.FaultPlan JSON)",
+    )
+    crawl.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for durable crawl snapshots",
+    )
+    crawl.add_argument(
+        "--checkpoint-every",
+        metavar="N",
+        type=int,
+        default=25,
+        help="snapshot every N work units (pages/wallets/tokens)",
+    )
+    crawl.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest compatible snapshot",
+    )
+
     analyze = subparsers.add_parser(
         "analyze", help="run the full §4 analysis on a saved dataset"
     )
@@ -122,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
-    for subparser in (simulate, analyze, predict, report, figures, sweep):
+    for subparser in (simulate, crawl, analyze, predict, report, figures, sweep):
         _add_obs_args(subparser)
     return parser
 
@@ -183,6 +219,57 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f" ({crawl.recovery_rate:.2%} recovery),"
           f" {crawl.transactions_crawled} transactions [{elapsed:.1f}s]")
     print(f"  dataset written to {directory}")
+    obs.finish()
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    obs = _RunObservability(args)
+    fault_plan = load_plan(args.faults) if args.faults else None
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    elif args.resume:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    _log.info(
+        "crawl.start",
+        domains=args.domains,
+        seed=args.seed,
+        faults=args.faults,
+        resume=args.resume,
+    )
+    world = run_scenario(
+        ScenarioConfig(n_domains=args.domains, seed=args.seed),
+        registry=obs.registry,
+        tracer=obs.tracer,
+    )
+    try:
+        dataset, crawl = world.run_crawl(
+            registry=obs.registry,
+            tracer=obs.tracer,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
+    except CrawlKilled as exc:
+        # an injected kill: checkpoints (if configured) survive for --resume
+        print(f"crawl killed by fault plan: {exc}", file=sys.stderr)
+        obs.finish()
+        return 3
+    print(
+        f"  {crawl.domains_crawled} domains crawled"
+        f" ({crawl.recovery_rate:.2%} recovery),"
+        f" {crawl.transactions_crawled} transactions,"
+        f" {crawl.market_events_crawled} market events"
+    )
+    print(f"  dataset digest {dataset_digest(dataset)}")
+    if args.out:
+        directory = save_dataset(dataset, args.out)
+        print(f"  dataset written to {directory}")
     obs.finish()
     return 0
 
@@ -276,6 +363,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "crawl": _cmd_crawl,
     "analyze": _cmd_analyze,
     "predict": _cmd_predict,
     "report": _cmd_report,

@@ -2,9 +2,16 @@
 
 Pulls the full transaction history of each wallet address, handling the
 two operational hazards of the real Etherscan API: free-tier rate
-limiting (retry with exponential backoff against the shared virtual
-clock) and the 10,000-row result window (block-range cursoring for deep
-histories).
+limiting and the 10,000-row result window (block-range cursoring for
+deep histories).
+
+All waiting goes through the shared :class:`repro.faults.retry`
+policy — deterministic capped-exponential backoff with seeded jitter on
+the API's virtual clock, a per-call retry *budget* (the crawl can no
+longer sleep unboundedly; exhaustion surfaces as
+``crawler_retry_budget_exhausted_total``), and a circuit breaker with
+half-open probing that trips on consecutive hard failures (rate limits
+are exempt — throttling is flow control, not an outage).
 
 Every operational number — requests, retries, terminal failures,
 backoff time, rows fetched — lives in a :class:`MetricsRegistry`; the
@@ -15,35 +22,68 @@ over those counters, so instrumented exports and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..datasets.schema import TxRecord
 from ..explorer.api import EtherscanAPI, MAX_TXLIST_WINDOW, RateLimitError
+from ..faults.errors import TransientInjectedError
+from ..faults.retry import (
+    CircuitBreaker,
+    RetryError,
+    RetryPolicy,
+    RetryingCaller,
+)
 from ..obs.metrics import MetricsRegistry
 
 __all__ = ["EtherscanClient", "EtherscanCrawlError"]
 
 CLIENT_LABEL = "explorer"
 
+#: Failures the shared policy retries: organic throttling + injected
+#: transients (timeouts, truncated/corrupt bodies, burst outages).
+RETRYABLE_ERRORS = (RateLimitError, TransientInjectedError)
+
 
 class EtherscanCrawlError(RuntimeError):
-    """The API kept rate-limiting past the retry budget."""
+    """The API kept failing past the retry budget."""
 
 
 @dataclass
 class EtherscanClient:
-    """Backoff-aware txlist crawler."""
+    """Backoff-aware txlist crawler on the shared retry policy."""
 
     api: EtherscanAPI
     page_size: int = 1000
     max_retries: int = 8
     initial_backoff_seconds: float = 0.25
     registry: MetricsRegistry | None = None
+    retry_policy: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+
+    _caller: RetryingCaller = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.registry is None:
             self.registry = MetricsRegistry()
+        if self.retry_policy is None:
+            self.retry_policy = RetryPolicy(
+                max_attempts=self.max_retries + 1,
+                initial_backoff=self.initial_backoff_seconds,
+            )
+        if self.breaker is None:
+            self.breaker = CircuitBreaker(
+                clock=self.api.clock,
+                registry=self.registry,
+                client=CLIENT_LABEL,
+            )
+        self._caller = RetryingCaller(
+            policy=self.retry_policy,
+            clock=self.api.clock,
+            client=CLIENT_LABEL,
+            registry=self.registry,
+            breaker=self.breaker,
+        )
         self._requests = self.registry.counter(
             "crawler_requests_total", "API calls issued", labels=("client",)
         ).labels(client=CLIENT_LABEL)
@@ -57,11 +97,6 @@ class EtherscanClient:
         ).labels(client=CLIENT_LABEL)
         self._rows = self.registry.counter(
             "crawler_rows_total", "Rows fetched", labels=("client",)
-        ).labels(client=CLIENT_LABEL)
-        self._backoff_seconds = self.registry.counter(
-            "crawler_backoff_seconds_total",
-            "Total backoff sleep against the API clock",
-            labels=("client",),
         ).labels(client=CLIENT_LABEL)
 
     # -- registry-backed effort counters ------------------------------------
@@ -83,28 +118,24 @@ class EtherscanClient:
 
     # -- backoff -------------------------------------------------------------
 
-    def _with_backoff(self, call: Callable[..., list], error: str, **kwargs) -> list:
-        backoff = self.initial_backoff_seconds
-        for attempt in range(self.max_retries + 1):
-            try:
-                self._requests.inc()
-                return call(**kwargs)
-            except RateLimitError:
-                if attempt == self.max_retries:
-                    self._failures.inc()
-                    raise EtherscanCrawlError(error)
-                self._retries.inc()
-                self._backoff_seconds.inc(backoff)
-                self.api.clock.sleep(backoff)
-                backoff *= 2
-        raise AssertionError("unreachable")
-
-    def _call_with_backoff(self, **kwargs) -> list[dict[str, object]]:
-        return self._with_backoff(
-            self.api.txlist,
-            f"rate limited {self.max_retries + 1} times in a row",
-            **kwargs,
-        )
+    def _call_with_retry(
+        self, fn: Callable[..., list], *, key: str, **kwargs: object
+    ) -> list:
+        """One logical call through the shared retry policy."""
+        try:
+            return self._caller.call(
+                fn,
+                key=key,
+                retryable=RETRYABLE_ERRORS,
+                breaker_exempt=(RateLimitError,),
+                on_attempt=self._requests.inc,
+                **kwargs,
+            )
+        except RetryError as exc:
+            self._failures.inc()
+            raise EtherscanCrawlError(
+                f"gave up after {exc.attempts} attempts: {exc}"
+            ) from exc
 
     def fetch_transactions(self, address: str) -> list[TxRecord]:
         """Full history of one address, oldest first.
@@ -124,7 +155,9 @@ class EtherscanClient:
                 if page * self.page_size > MAX_TXLIST_WINDOW:
                     exhausted_window = True
                     break
-                rows = self._call_with_backoff(
+                rows = self._call_with_retry(
+                    self.api.txlist,
+                    key=f"txlist:{address}:{start_block}:{page}",
                     address=address,
                     startblock=start_block,
                     page=page,
@@ -159,9 +192,9 @@ class EtherscanClient:
 
     def fetch_label_category(self, category: str) -> list[str]:
         """Address list for a label category (custodial/Coinbase seeds)."""
-        rows = self._with_backoff(
+        rows = self._call_with_retry(
             self.api.labels_in_category,
-            "rate limited fetching labels",
+            key=f"labels:{category}",
             category=category,
         )
         self._rows.inc(len(rows))

@@ -17,7 +17,7 @@ from typing import Any, Callable, Iterator
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import DomainRecord, MarketEventRecord, TxRecord
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = ["save_dataset", "load_dataset", "dataset_digest"]
 
 _DOMAINS_FILE = "domains.jsonl"
 _TRANSACTIONS_FILE = "transactions.jsonl"
@@ -75,6 +75,36 @@ def save_dataset(dataset: ENSDataset, directory: str | Path) -> Path:
     }
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2), encoding="utf-8")
     return directory
+
+
+def dataset_digest(dataset: ENSDataset) -> str:
+    """SHA-256 over the dataset's canonical on-disk serialization.
+
+    Two datasets with the same digest would produce byte-identical
+    :func:`save_dataset` directories — the equality the chaos suite
+    asserts between faulted/resumed crawls and the clean baseline.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for row in (domain.as_dict() for domain in dataset.domains.values()):
+        digest.update(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+        digest.update(b"\n")
+    digest.update(b"--transactions--\n")
+    for row in (tx.as_dict() for tx in dataset.transactions):
+        digest.update(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+        digest.update(b"\n")
+    digest.update(b"--market--\n")
+    for row in (event.as_dict() for event in dataset.market_events):
+        digest.update(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+        digest.update(b"\n")
+    meta = {
+        "crawlTimestamp": dataset.crawl_timestamp,
+        "coinbaseAddresses": sorted(dataset.coinbase_addresses),
+        "custodialAddresses": sorted(dataset.custodial_addresses),
+    }
+    digest.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def load_dataset(directory: str | Path) -> ENSDataset:

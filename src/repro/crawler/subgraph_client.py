@@ -5,14 +5,27 @@ cursor pagination — the technique that sidesteps The Graph's 5000-row
 ``skip`` ceiling — and converts rows into :class:`DomainRecord`s.
 Domains the endpoint never returns (its indexing gap) are precisely the
 paper's "34K names unrecoverable due to API limitations".
+
+Error envelopes are retried through the shared
+:class:`repro.faults.retry` policy (deterministic backoff on the
+client's virtual clock, circuit breaker with half-open probing), and
+:meth:`SubgraphClient.fetch_domains_page` exposes one cursor step so
+the checkpointing pipeline can persist crawl progress between pages.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from ..datasets.schema import DomainRecord, RegistrationRecord
+from ..explorer.api import VirtualClock
+from ..faults.retry import (
+    CircuitBreaker,
+    RetryError,
+    RetryPolicy,
+    RetryingCaller,
+)
 from ..indexer.endpoint import MAX_FIRST, SubgraphEndpoint
 from ..obs.metrics import MetricsRegistry
 
@@ -39,20 +52,43 @@ class SubgraphCrawlError(RuntimeError):
     """The endpoint kept returning errors past the retry budget."""
 
 
+class _QueryRejected(RuntimeError):
+    """Internal: one query attempt came back as an error envelope."""
+
+
 @dataclass
 class SubgraphClient:
-    """Cursor-paginating GraphQL crawler."""
+    """Cursor-paginating GraphQL crawler on the shared retry policy."""
 
     endpoint: SubgraphEndpoint
     page_size: int = MAX_FIRST
     max_retries: int = 3
     registry: MetricsRegistry | None = None
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    retry_policy: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+
+    _caller: RetryingCaller = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 1 <= self.page_size <= MAX_FIRST:
             raise ValueError(f"page_size must be within 1..{MAX_FIRST}")
         if self.registry is None:
             self.registry = MetricsRegistry()
+        if self.retry_policy is None:
+            # historical semantics: max_retries counts total *attempts*
+            self.retry_policy = RetryPolicy(max_attempts=self.max_retries)
+        if self.breaker is None:
+            self.breaker = CircuitBreaker(
+                clock=self.clock, registry=self.registry, client=CLIENT_LABEL
+            )
+        self._caller = RetryingCaller(
+            policy=self.retry_policy,
+            clock=self.clock,
+            client=CLIENT_LABEL,
+            registry=self.registry,
+            breaker=self.breaker,
+        )
         self._requests = self.registry.counter(
             "crawler_requests_total", "API calls issued", labels=("client",)
         ).labels(client=CLIENT_LABEL)
@@ -85,22 +121,30 @@ class SubgraphClient:
 
     # -- raw paging ----------------------------------------------------------
 
+    def _query_once(self, query: str) -> dict[str, Any]:
+        """One attempt; error envelopes become retryable exceptions."""
+        response = self.endpoint.query(query)
+        if "errors" in response:
+            raise _QueryRejected(response["errors"][0]["message"])
+        return response
+
     def _fetch_page(self, cursor: str) -> list[dict[str, Any]]:
         query = _DOMAIN_QUERY_TEMPLATE.format(first=self.page_size, cursor=cursor)
-        last_error = "no attempts made"
-        for attempt in range(self.max_retries):
-            self._requests.inc()
-            response = self.endpoint.query(query)
-            if "errors" not in response:
-                self._pages.inc()
-                rows = response["data"]["domains"]
-                self._rows.inc(len(rows))
-                return rows
-            last_error = response["errors"][0]["message"]
-            if attempt < self.max_retries - 1:
-                self._retries.inc()
-        self._failures.inc()
-        raise SubgraphCrawlError(f"subgraph query failed: {last_error}")
+        try:
+            response = self._caller.call(
+                self._query_once,
+                key=f"domains:{cursor}",
+                retryable=(_QueryRejected,),
+                on_attempt=self._requests.inc,
+                query=query,
+            )
+        except RetryError as exc:
+            self._failures.inc()
+            raise SubgraphCrawlError(f"subgraph query failed: {exc}") from exc
+        self._pages.inc()
+        rows = response["data"]["domains"]
+        self._rows.inc(len(rows))
+        return rows
 
     # -- record conversion -------------------------------------------------------
 
@@ -131,16 +175,25 @@ class SubgraphClient:
 
     # -- the crawl -------------------------------------------------------------------
 
+    def fetch_domains_page(self, cursor: str) -> list[DomainRecord]:
+        """One ``id_gt`` cursor step: the page of domains after ``cursor``.
+
+        Returns an empty list when the enumeration is complete. The next
+        cursor is the last returned record's ``domain_id`` — durable
+        crawl state the checkpointing pipeline persists between pages.
+        """
+        return [self._to_record(row) for row in self._fetch_page(cursor)]
+
     def fetch_all_domains(self) -> list[DomainRecord]:
         """Enumerate every visible domain via id cursor pagination."""
         records: list[DomainRecord] = []
         cursor = ""
         while True:
-            rows = self._fetch_page(cursor)
-            if not rows:
+            page = self.fetch_domains_page(cursor)
+            if not page:
                 return records
-            records.extend(self._to_record(row) for row in rows)
-            cursor = rows[-1]["id"]
+            records.extend(page)
+            cursor = page[-1].domain_id
 
     def fetch_domain(self, domain_id: str) -> DomainRecord | None:
         """Point lookup of one domain by namehash id."""

@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     obs_hygiene,
     perf,
     public_api,
+    retry_discipline,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "obs_hygiene",
     "perf",
     "public_api",
+    "retry_discipline",
 ]

@@ -9,7 +9,8 @@ import higher ones)::
     obs, lint                                   (foundation, imports nothing)
     chain                                       (the ledger)
     datasets, ens, indexer, oracle              (protocol + data models)
-    crawler, explorer, marketplace, simulation  (services over the protocol)
+    crawler, explorer, faults,                  (services over the protocol;
+    marketplace, simulation                      faults wraps its peers)
     core                                        (the paper's analyses)
     perf, wallets                               (index alias / Appendix-B study)
     cli                                         (user interface, imports all)
@@ -44,6 +45,7 @@ LAYERS: dict[str, int] = {
     "oracle": 2,
     "crawler": 3,
     "explorer": 3,
+    "faults": 3,
     "marketplace": 3,
     "simulation": 3,
     "core": 4,

@@ -295,6 +295,56 @@ class MetricsRegistry:
             return float(sample.count)
         return sample.value
 
+    # -- durable counter state (crawl checkpoints) -------------------------
+
+    def counter_snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every *counter* family's samples.
+
+        The crawl checkpointer persists this so a resumed run's effort
+        counters continue from where the killed run stopped — the final
+        :class:`~repro.crawler.pipeline.CrawlReport` then accounts for
+        the whole crawl, not just the post-resume tail. Gauges and
+        histograms are point-in-time/derived and are rebuilt by the
+        resumed run instead.
+        """
+        snapshot: dict[str, Any] = {}
+        for family in self.families():
+            if family.kind != "counter":
+                continue
+            snapshot[family.name] = {
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": [
+                    {"labels": labels, "value": sample.value}
+                    for labels, sample in family.items()
+                ],
+            }
+        return snapshot
+
+    def restore_counters(self, snapshot: dict[str, Any]) -> None:
+        """Raise counters to at least the values of a prior snapshot.
+
+        Families are registered on demand (with the snapshot's label
+        names), so restoring works whether or not the consuming client
+        has bound its instruments yet. Counters are monotonic: samples
+        already past their snapshotted value are left alone.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            label_names = tuple(entry.get("label_names", ()))
+            family = self._register(
+                name, "counter", entry.get("help", ""), label_names
+            )
+            for item in entry.get("samples", ()):
+                sample = (
+                    family.labels(**item.get("labels", {}))
+                    if label_names
+                    else family.default
+                )
+                delta = float(item["value"]) - sample.value
+                if delta > 0:
+                    sample.inc(delta)
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot of every family and sample."""
         snapshot: dict[str, Any] = {}

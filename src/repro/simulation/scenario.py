@@ -27,6 +27,7 @@ from datetime import date
 
 from ..chain.chain import Blockchain
 from ..chain.types import SECONDS_PER_DAY, Address, Wei
+from ..crawler.checkpoint import CheckpointConfig
 from ..crawler.etherscan_client import EtherscanClient
 from ..crawler.opensea_client import OpenSeaClient
 from ..crawler.pipeline import CrawlReport, DataCollectionPipeline
@@ -43,6 +44,12 @@ from ..explorer.labels import (
     CATEGORY_CUSTODIAL_EXCHANGE,
     LabelRegistry,
 )
+from ..faults.injectors import (
+    FaultyEtherscanAPI,
+    FaultyOpenSeaAPI,
+    FaultySubgraphEndpoint,
+)
+from ..faults.plan import FaultPlan
 from ..indexer.endpoint import SubgraphEndpoint
 from ..indexer.subgraph import ENSSubgraph
 from ..marketplace.api import OpenSeaAPI
@@ -104,30 +111,53 @@ class ScenarioWorld:
         self,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: CheckpointConfig | None = None,
     ) -> DataCollectionPipeline:
         """Fresh crawler clients wired to this world's endpoints.
 
         All three clients and the pipeline share one registry (fresh by
         default), so the exported crawler counters are exactly the ones
         the resulting :class:`CrawlReport` is built from.
+
+        A ``fault_plan`` interposes the deterministic
+        :mod:`repro.faults` wrappers between the clients and this
+        world's endpoints — the clients cannot tell injected failures
+        from real ones. A ``checkpoint`` config makes the run durable
+        (periodic snapshots, optional resume).
         """
         registry = registry if registry is not None else MetricsRegistry()
         tracer = tracer if tracer is not None else Tracer(registry=registry)
+        endpoint = self.endpoint
+        etherscan_api = self.etherscan_api
+        opensea_api = self.opensea_api
+        if fault_plan is not None:
+            endpoint = FaultySubgraphEndpoint(endpoint, fault_plan, registry)
+            etherscan_api = FaultyEtherscanAPI(etherscan_api, fault_plan, registry)
+            opensea_api = FaultyOpenSeaAPI(opensea_api, fault_plan, registry)
         return DataCollectionPipeline(
-            subgraph_client=SubgraphClient(self.endpoint, registry=registry),
-            etherscan_client=EtherscanClient(self.etherscan_api, registry=registry),
-            opensea_client=OpenSeaClient(self.opensea_api, registry=registry),
+            subgraph_client=SubgraphClient(endpoint, registry=registry),
+            etherscan_client=EtherscanClient(etherscan_api, registry=registry),
+            opensea_client=OpenSeaClient(opensea_api, registry=registry),
             registry=registry,
             tracer=tracer,
+            checkpoint=checkpoint,
         )
 
     def run_crawl(
         self,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        fault_plan: FaultPlan | None = None,
+        checkpoint: CheckpointConfig | None = None,
     ) -> tuple[ENSDataset, CrawlReport]:
         """Run the Figure-1 pipeline against this world."""
-        pipeline = self.build_pipeline(registry=registry, tracer=tracer)
+        pipeline = self.build_pipeline(
+            registry=registry,
+            tracer=tracer,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+        )
         return pipeline.run(crawl_timestamp=self.end_timestamp)
 
 

@@ -1,0 +1,91 @@
+"""The retry-discipline rule: crawler clients never sleep by hand."""
+
+from __future__ import annotations
+
+
+CRAWLER_KW = dict(
+    module="repro.crawler.fixture",
+    path="src/repro/crawler/fixture.py",
+    rules=["retry-direct-sleep"],
+)
+
+
+class TestRetryDirectSleep:
+    def test_clock_sleep_in_crawler_flags(self, rule_ids) -> None:
+        text = """
+        def backoff(clock):
+            clock.sleep(2.0)
+        """
+        assert rule_ids(text, **CRAWLER_KW) == ["retry-direct-sleep"]
+
+    def test_nested_attribute_sleep_flags(self, rule_ids) -> None:
+        text = """
+        def backoff(self):
+            self.api.clock.sleep(0.25)
+        """
+        assert rule_ids(text, **CRAWLER_KW) == ["retry-direct-sleep"]
+
+    def test_every_call_site_is_reported(self, lint_text) -> None:
+        text = """
+        def worker(clock):
+            clock.sleep(1.0)
+            clock.sleep(2.0)
+        """
+        result = lint_text(text, **CRAWLER_KW)
+        lines = [f.line for f in result.findings if f.rule == "retry-direct-sleep"]
+        assert lines == [3, 4]
+
+    def test_sleep_outside_crawler_is_allowed(self, rule_ids) -> None:
+        # repro.faults.retry is the one legitimate sleeper
+        text = """
+        def wait(clock, delay):
+            clock.sleep(delay)
+        """
+        assert (
+            rule_ids(
+                text,
+                module="repro.faults.retry",
+                path="src/repro/faults/retry.py",
+                rules=["retry-direct-sleep"],
+            )
+            == []
+        )
+
+    def test_bare_name_sleep_not_flagged(self, rule_ids) -> None:
+        # only attribute calls (something.sleep) are the clock idiom;
+        # a local helper named sleep is not this rule's business
+        text = """
+        def quiet(sleep):
+            sleep(1.0)
+        """
+        assert rule_ids(text, **CRAWLER_KW) == []
+
+    def test_suppression_comment_is_honoured(self, rule_ids) -> None:
+        text = """
+        def settle(clock):
+            clock.sleep(1.0)  # lint: ignore[retry-direct-sleep] calibration
+        """
+        assert rule_ids(text, **CRAWLER_KW) == []
+
+    def test_rule_selection_excludes_it(self, rule_ids) -> None:
+        text = """
+        def backoff(clock):
+            clock.sleep(2.0)
+        """
+        kwargs = dict(CRAWLER_KW, rules=["perf-full-tx-scan"])
+        assert rule_ids(text, **kwargs) == []
+
+    def test_real_crawler_package_is_clean(self) -> None:
+        """The shipped clients honour the rule they motivated."""
+        import pathlib
+
+        from repro.lint import lint_paths
+
+        crawler = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "src"
+            / "repro"
+            / "crawler"
+        )
+        result = lint_paths([str(crawler)], rules=["retry-direct-sleep"])
+        assert result.findings == []
