@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .core import build_report, train_reregistration_predictor
+from .core import build_report, report_json, train_reregistration_predictor
 from .crawler import CheckpointConfig, dataset_digest, load_dataset, save_dataset
 from .faults import CrawlKilled, load_plan
 from .lint.cli import add_lint_arguments
@@ -43,6 +43,7 @@ from .obs import (
     write_run_report,
 )
 from .oracle import EthUsdOracle
+from .parallel import resolve_executor
 from .simulation import ScenarioConfig, run_scenario
 
 __all__ = ["main", "build_parser"]
@@ -71,6 +72,17 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         const=10,
         default=None,
         help="print the N slowest analysis spans after the run (default 10)",
+    )
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        metavar="N",
+        type=int,
+        default=1,
+        help="fan crawl stages and analyses out over N processes"
+        " (output is byte-identical for any N; default 1 = in-process)",
     )
 
 
@@ -127,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("dataset", help="dataset directory")
     analyze.add_argument("--control-seed", type=int, default=0)
+    analyze.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the report's canonical JSON encoding to PATH",
+    )
 
     predict = subparsers.add_parser(
         "predict", help="train the re-registration risk predictor"
@@ -140,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--domains", type=int, default=1000)
     report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="write the report's canonical JSON encoding to PATH",
+    )
 
     figures = subparsers.add_parser(
         "figures", help="export every figure's data series as CSV"
@@ -158,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    for subparser in (simulate, crawl, analyze, report):
+        _add_workers_arg(subparser)
     for subparser in (simulate, crawl, analyze, predict, report, figures, sweep):
         _add_obs_args(subparser)
     return parser
@@ -209,7 +235,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=obs.tracer,
         )
         dataset, crawl = world.run_crawl(
-            registry=obs.registry, tracer=obs.tracer
+            registry=obs.registry,
+            tracer=obs.tracer,
+            executor=resolve_executor(args.workers),
         )
         with obs.tracer.span("simulate.save"):
             directory = save_dataset(dataset, args.out)
@@ -254,6 +282,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             tracer=obs.tracer,
             fault_plan=fault_plan,
             checkpoint=checkpoint,
+            executor=resolve_executor(args.workers),
         )
     except CrawlKilled as exc:
         # an injected kill: checkpoints (if configured) survive for --resume
@@ -291,11 +320,23 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         seed=args.control_seed,
         registry=obs.registry,
         tracer=obs.tracer,
+        executor=resolve_executor(args.workers),
     )
     for line in report.lines():
         print(line)
+    _write_report_json(args, report)
     obs.finish()
     return 0
+
+
+def _write_report_json(args: argparse.Namespace, report) -> None:
+    """Write the canonical report encoding when ``--json-out`` was given."""
+    path = getattr(args, "json_out", None)
+    if path:
+        from pathlib import Path
+
+        Path(path).write_text(report_json(report), encoding="utf-8")
+        _log.info("report_json.written", path=path)
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -324,12 +365,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         registry=obs.registry,
         tracer=obs.tracer,
     )
-    dataset, _ = world.run_crawl(registry=obs.registry, tracer=obs.tracer)
+    executor = resolve_executor(args.workers)
+    dataset, _ = world.run_crawl(
+        registry=obs.registry, tracer=obs.tracer, executor=executor
+    )
     report = build_report(
-        dataset, world.oracle, registry=obs.registry, tracer=obs.tracer
+        dataset,
+        world.oracle,
+        registry=obs.registry,
+        tracer=obs.tracer,
+        executor=executor,
     )
     for line in report.lines():
         print(line)
+    _write_report_json(args, report)
     obs.finish()
     return 0
 

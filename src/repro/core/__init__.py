@@ -38,7 +38,7 @@ from .prediction import (
     train_reregistration_predictor,
 )
 from .profit import CatchEconomics, ProfitReport, analyze_profit
-from .report import HeadlineReport, build_report
+from .report import HeadlineReport, build_report, report_json
 from .resale import ResaleReport, analyze_resale
 from .stats import (
     SIGNIFICANCE_LEVEL,
@@ -123,6 +123,7 @@ __all__ = [
     "analyze_resale",
     "build_report",
     "compare_groups",
+    "report_json",
     "control_candidates",
     "detect_losses",
     "expired_domain_ids",

@@ -5,16 +5,25 @@ and the quickstart example print it next to the published values. Each
 analysis pass runs inside its own tracer span (``analyze.<pass>``), so
 ``repro analyze --trace`` shows where the time goes, and headline
 volumes are mirrored into the registry as ``analysis_*`` gauges.
+
+With an ``executor`` (``--workers N``), the independent pass *groups*
+fan out over the process pool — the passes are pure functions of
+``(dataset, oracle, seed)``, so the assembled report is identical to a
+serial run; :func:`report_json` is the canonical byte encoding the CI
+determinism gate compares across worker counts.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 from ..datasets.dataset import ENSDataset
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
 from ..oracle.ethusd import EthUsdOracle
+from ..parallel import ParallelExecutor
 from .actors import ActorConcentration, actor_concentration
 from .comparison import FeatureComparison, compare_groups
 from .context import AnalysisContext
@@ -26,7 +35,14 @@ from .resale import ResaleReport, analyze_resale
 from .timing import DelayDistribution, delay_distribution
 from .typosquat import TyposquatReport, find_typosquat_catches
 
-__all__ = ["HeadlineReport", "build_report"]
+__all__ = ["HeadlineReport", "build_report", "report_json"]
+
+#: Independent analysis units for the parallel path, in canonical
+#: (serial) order. Passes that feed each other stay in one group —
+#: ``profit`` consumes ``losses_with_coinbase``, so both live in
+#: "losses" — which keeps every group a pure function of the shared
+#: inputs and the merge a plain field-wise union.
+_PASS_GROUPS = ("overview", "comparison", "losses", "hijackable", "typosquat")
 
 
 @dataclass
@@ -82,6 +98,210 @@ class HeadlineReport:
             f" ({self.typosquat.candidate_fraction:.1%} of catches)",
         ]
 
+    def as_dict(self) -> dict[str, Any]:
+        """Every headline number as plain JSON-ready values.
+
+        Built from the component reports' derived properties (the
+        ``LossReport``/``HijackableReport`` objects hold an oracle, so
+        ``dataclasses.asdict`` cannot serialize them); all collections
+        are emitted in a deterministic order, which makes the canonical
+        encoding (:func:`report_json`) byte-comparable across runs.
+        """
+
+        def _losses(report: LossReport) -> dict[str, Any]:
+            return {
+                "affected_domains": report.affected_domains,
+                "misdirected_tx_count": report.misdirected_tx_count,
+                "unique_senders": report.unique_senders,
+                "average_usd_per_tx": report.average_usd_per_tx,
+                "total_usd": report.total_usd,
+            }
+
+        return {
+            "summary": {
+                "total_domains": self.summary.total_domains,
+                "expired_domains": self.summary.expired_domains,
+                "reregistered_domains": self.summary.reregistered_domains,
+                "reregistration_events": self.summary.reregistration_events,
+                "domains_caught_more_than_twice": (
+                    self.summary.domains_caught_more_than_twice
+                ),
+                "rereg_rate_among_expired": (
+                    self.summary.rereg_rate_among_expired
+                ),
+            },
+            "delays": {
+                "count": self.delays.count,
+                "caught_at_premium": self.delays.caught_at_premium,
+                "caught_on_premium_end_day": (
+                    self.delays.caught_on_premium_end_day
+                ),
+                "caught_shortly_after_premium": (
+                    self.delays.caught_shortly_after_premium
+                ),
+                "delays_days": sorted(self.delays.delays_days),
+            },
+            "actors": {
+                "unique_catchers": self.actors.unique_catchers,
+                "addresses_with_multiple_catches": (
+                    self.actors.addresses_with_multiple_catches
+                ),
+                "gini": self.actors.gini(),
+                "catches_by_address": dict(
+                    sorted(self.actors.catches_by_address.items())
+                ),
+            },
+            "comparison": {
+                "group_size_reregistered": (
+                    self.comparison.group_size_reregistered
+                ),
+                "group_size_control": self.comparison.group_size_control,
+                "all_significant": self.comparison.all_significant,
+                "rows": [
+                    {
+                        "feature": row.feature,
+                        "kind": row.kind,
+                        "reregistered_value": row.reregistered_value,
+                        "control_value": row.control_value,
+                        "statistic": row.test.statistic,
+                        "p_value": row.test.p_value,
+                        "test_name": row.test.test_name,
+                        "significant": row.significant,
+                    }
+                    for row in self.comparison.rows
+                ],
+            },
+            "resale": {
+                "reregistered_domains": self.resale.reregistered_domains,
+                "listed_domains": self.resale.listed_domains,
+                "sold_domains": self.resale.sold_domains,
+                "listed_fraction": self.resale.listed_fraction,
+                "sold_of_listed": self.resale.sold_of_listed,
+                "average_sale_usd": self.resale.average_sale_usd,
+                "sale_prices_usd": sorted(self.resale.sale_prices_usd),
+            },
+            "losses_noncustodial": _losses(self.losses_noncustodial),
+            "losses_with_coinbase": _losses(self.losses_with_coinbase),
+            "hijackable": {
+                "domains_with_exposure": self.hijackable.domains_with_exposure,
+                "total_txs": self.hijackable.total_txs,
+                "total_usd": self.hijackable.total_usd,
+            },
+            "profit": {
+                "catches": len(self.profit.catches),
+                "profitable_fraction": self.profit.profitable_fraction,
+                "average_profit_usd": self.profit.average_profit_usd,
+            },
+            "typosquat": {
+                "catches_screened": self.typosquat.catches_screened,
+                "popular_targets": self.typosquat.popular_targets,
+                "candidate_fraction": self.typosquat.candidate_fraction,
+                "candidates": [
+                    {
+                        "caught_label": candidate.caught_label,
+                        "target_label": candidate.target_label,
+                        "target_income_usd": candidate.target_income_usd,
+                        "distance": candidate.distance,
+                        "new_owner": candidate.new_owner,
+                    }
+                    for candidate in sorted(
+                        self.typosquat.candidates,
+                        key=lambda c: (c.caught_label, c.target_label),
+                    )
+                ],
+            },
+        }
+
+
+def report_json(report: HeadlineReport) -> str:
+    """The canonical byte encoding of a report (sorted keys, compact).
+
+    This exact string is what the CI determinism job compares between
+    ``--workers 1`` and ``--workers 4`` runs and hashes against the
+    committed golden digest — any formatting drift here is a
+    determinism-gate break, not a cosmetic change.
+    """
+    return (
+        json.dumps(report.as_dict(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+
+
+def _report_pass_group(
+    shared: tuple[ENSDataset, EthUsdOracle, int, list],
+    group: str,
+) -> dict[str, Any]:
+    """Run one independent pass group (in a worker or in-process).
+
+    Every group builds its own :class:`AnalysisContext` over the shared
+    (forked copy-on-write) dataset — the context is a cache, so a
+    per-worker one changes effort, never output. Returns the report
+    fields the group produced, keyed by ``HeadlineReport`` field name.
+    """
+    dataset, oracle, seed, events = shared
+    context = AnalysisContext(dataset, oracle)
+    if group == "overview":
+        return {
+            "summary": summarize(dataset, events=events),
+            "delays": delay_distribution(dataset, events=events),
+            "actors": actor_concentration(dataset, events=events),
+            "resale": analyze_resale(dataset, oracle, events=events),
+        }
+    if group == "comparison":
+        return {
+            "comparison": compare_groups(
+                dataset, oracle, seed=seed, events=events, context=context
+            )
+        }
+    if group == "losses":
+        losses_all = detect_losses(
+            dataset, oracle, include_coinbase=True, events=events,
+            context=context,
+        )
+        return {
+            "losses_with_coinbase": losses_all,
+            "losses_noncustodial": detect_losses(
+                dataset, oracle, include_coinbase=False, events=events,
+                context=context,
+            ),
+            "profit": analyze_profit(
+                dataset, oracle, losses=losses_all, events=events,
+                context=context,
+            ),
+        }
+    if group == "hijackable":
+        return {"hijackable": find_hijackable(dataset, oracle, context=context)}
+    if group == "typosquat":
+        return {
+            "typosquat": find_typosquat_catches(
+                dataset, oracle, events=events, context=context
+            )
+        }
+    raise ValueError(f"unknown pass group {group!r}")
+
+
+def _publish_gauges(
+    registry: MetricsRegistry | None, events_count: int, report: HeadlineReport
+) -> None:
+    """Mirror headline volumes into ``analysis_output_count`` gauges."""
+    if registry is None:
+        return
+    passes = registry.gauge(
+        "analysis_output_count",
+        "Headline volumes of the last analysis run",
+        labels=("result",),
+    )
+    passes.labels(result="reregistration_events").set(events_count)
+    passes.labels(result="misdirected_txs").set(
+        report.losses_with_coinbase.misdirected_tx_count
+    )
+    passes.labels(result="hijackable_domains").set(
+        report.hijackable.domains_with_exposure
+    )
+    passes.labels(result="typosquat_candidates").set(
+        len(report.typosquat.candidates)
+    )
+
 
 def build_report(
     dataset: ENSDataset,
@@ -91,6 +311,7 @@ def build_report(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     context: AnalysisContext | None = None,
+    executor: ParallelExecutor | None = None,
 ) -> HeadlineReport:
     """Run every analysis once over a shared analysis index.
 
@@ -98,11 +319,30 @@ def build_report(
     ``registry`` (cache hit/miss counters land in the metrics export);
     pass :class:`~repro.core.context.ScanAccess` to force the index-free
     reference path — the output must be identical either way.
+
+    An ``executor`` with more than one worker fans the pass groups out
+    over the process pool; results merge in canonical group order, so
+    the report is identical to the serial run.
     """
     if tracer is None:
         tracer = Tracer(registry=registry)
     if context is None:
         context = AnalysisContext(dataset, oracle, registry=registry)
+    if executor is not None and executor.workers > 1:
+        with tracer.span("analyze"):
+            with tracer.span("analyze.reregistrations"):
+                events = context.reregistrations()
+            with tracer.span("analyze.parallel", groups=len(_PASS_GROUPS)):
+                shared = (dataset, oracle, seed, events)
+                parts = executor.run(
+                    _report_pass_group, shared, list(_PASS_GROUPS)
+                )
+        fields: dict[str, Any] = {}
+        for part in parts:  # item order == _PASS_GROUPS order: canonical
+            fields.update(part)
+        report = HeadlineReport(**fields)
+        _publish_gauges(registry, len(events), report)
+        return report
     with tracer.span("analyze"):
         with tracer.span("analyze.reregistrations"):
             events = context.reregistrations()
@@ -138,23 +378,7 @@ def build_report(
             typosquat = find_typosquat_catches(
                 dataset, oracle, events=events, context=context
             )
-    if registry is not None:
-        passes = registry.gauge(
-            "analysis_output_count",
-            "Headline volumes of the last analysis run",
-            labels=("result",),
-        )
-        passes.labels(result="reregistration_events").set(len(events))
-        passes.labels(result="misdirected_txs").set(
-            losses_all.misdirected_tx_count
-        )
-        passes.labels(result="hijackable_domains").set(
-            hijackable.domains_with_exposure
-        )
-        passes.labels(result="typosquat_candidates").set(
-            len(typosquat.candidates)
-        )
-    return HeadlineReport(
+    report = HeadlineReport(
         summary=summary,
         delays=delays,
         actors=actors,
@@ -166,3 +390,5 @@ def build_report(
         profit=profit,
         typosquat=typosquat,
     )
+    _publish_gauges(registry, len(events), report)
+    return report

@@ -7,6 +7,7 @@ pointer::
     <dir>/ckpt-000012/
         state.json            stage, cursors, counter snapshot, fingerprint
         dataset/              partial ENSDataset (crawler.storage layout)
+        staged.json           per-shard results awaiting merge (sharded runs)
 
 The commit protocol makes a torn write invisible: a snapshot directory
 is fully written first, then ``LATEST`` is atomically replaced (write
@@ -33,6 +34,7 @@ from pathlib import Path
 from typing import Any
 
 from ..datasets.dataset import ENSDataset
+from ..datasets.schema import MarketEventRecord, TxRecord
 from ..obs.log import get_logger
 from .storage import load_dataset, save_dataset
 
@@ -70,6 +72,7 @@ STAGES = (
 _LATEST_FILE = "LATEST"
 _STATE_FILE = "state.json"
 _DATASET_DIR = "dataset"
+_STAGED_FILE = "staged.json"
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,7 +98,16 @@ class CheckpointConfig:
 
 @dataclass
 class CrawlState:
-    """Resumable progress of one pipeline run (the checkpointed cursor)."""
+    """Resumable progress of one pipeline run (the checkpointed cursor).
+
+    Serial runs advance ``wallets_done``/``tokens_done``; sharded runs
+    (``--workers N``) instead record which shard indexes of the current
+    stage have completed (``shards_done``) and stash each completed
+    shard's fetched records (``staged_transactions`` /
+    ``staged_market_events``) until the stage-end canonical merge —
+    completion order must never reach the dataset, so per-shard results
+    stay staged, keyed by shard index, until every shard is in.
+    """
 
     stage: str = STAGE_DOMAINS
     subgraph_cursor: str = ""
@@ -103,6 +115,13 @@ class CrawlState:
     tokens_done: int = 0
     units_done: int = 0
     dataset: ENSDataset = field(default_factory=ENSDataset)
+    shards_done: dict[str, list[int]] = field(default_factory=dict)
+    staged_transactions: dict[int, list[tuple[str, list[TxRecord]]]] = field(
+        default_factory=dict
+    )
+    staged_market_events: dict[
+        int, list[tuple[str, list[MarketEventRecord]]]
+    ] = field(default_factory=dict)
 
     def cursor_dict(self) -> dict[str, Any]:
         """The JSON-ready cursor portion (everything but the dataset)."""
@@ -112,7 +131,46 @@ class CrawlState:
             "wallets_done": self.wallets_done,
             "tokens_done": self.tokens_done,
             "units_done": self.units_done,
+            "shards_done": {
+                stage: sorted(indexes)
+                for stage, indexes in sorted(self.shards_done.items())
+            },
         }
+
+    @property
+    def has_staged(self) -> bool:
+        """Whether any per-shard results await their canonical merge."""
+        return bool(self.staged_transactions or self.staged_market_events)
+
+    def staged_dict(self) -> dict[str, Any]:
+        """JSON-ready staged per-shard results (``staged.json``)."""
+        return {
+            "transactions": _staged_as_dict(self.staged_transactions),
+            "market_events": _staged_as_dict(self.staged_market_events),
+        }
+
+
+def _staged_as_dict(
+    staged: dict[int, list[tuple[str, list[Any]]]],
+) -> dict[str, list[list[Any]]]:
+    return {
+        str(shard_index): [
+            [key, [record.as_dict() for record in records]]
+            for key, records in pairs
+        ]
+        for shard_index, pairs in sorted(staged.items())
+    }
+
+
+def _staged_from_dict(
+    payload: dict[str, Any], parse: Any
+) -> dict[int, list[tuple[str, list[Any]]]]:
+    return {
+        int(shard_index): [
+            (str(key), [parse(row) for row in rows]) for key, rows in pairs
+        ]
+        for shard_index, pairs in payload.items()
+    }
 
 
 @dataclass
@@ -146,6 +204,11 @@ class CheckpointStore:
         (snapshot_dir / _STATE_FILE).write_text(
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )
+        if state.has_staged:
+            (snapshot_dir / _STAGED_FILE).write_text(
+                json.dumps(state.staged_dict(), sort_keys=True),
+                encoding="utf-8",
+            )
         self._commit(name)
         self._garbage_collect(keep=name)
         return snapshot_dir
@@ -212,6 +275,23 @@ class CheckpointStore:
                 "checkpoint.dataset_unreadable", snapshot=name, error=str(exc)
             )
             return None
+        staged_path = snapshot_dir / _STAGED_FILE
+        staged_transactions: dict[int, list[tuple[str, list[Any]]]] = {}
+        staged_market_events: dict[int, list[tuple[str, list[Any]]]] = {}
+        if staged_path.exists():
+            try:
+                staged = json.loads(staged_path.read_text(encoding="utf-8"))
+                staged_transactions = _staged_from_dict(
+                    staged.get("transactions", {}), TxRecord.from_dict
+                )
+                staged_market_events = _staged_from_dict(
+                    staged.get("market_events", {}), MarketEventRecord.from_dict
+                )
+            except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+                _log.warning(
+                    "checkpoint.staged_unreadable", snapshot=name, error=str(exc)
+                )
+                return None
         state = CrawlState(
             stage=stage,
             subgraph_cursor=str(cursor.get("subgraph_cursor", "")),
@@ -219,5 +299,11 @@ class CheckpointStore:
             tokens_done=int(cursor.get("tokens_done", 0)),
             units_done=int(cursor.get("units_done", 0)),
             dataset=dataset,
+            shards_done={
+                str(stage_name): [int(index) for index in indexes]
+                for stage_name, indexes in cursor.get("shards_done", {}).items()
+            },
+            staged_transactions=staged_transactions,
+            staged_market_events=staged_market_events,
         )
         return state, dict(payload.get("counters", {}))

@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     layering,
     mutable_defaults,
     obs_hygiene,
+    parallel_discipline,
     perf,
     public_api,
     retry_discipline,
@@ -20,6 +21,7 @@ __all__ = [
     "layering",
     "mutable_defaults",
     "obs_hygiene",
+    "parallel_discipline",
     "perf",
     "public_api",
     "retry_discipline",

@@ -1,0 +1,143 @@
+"""Parallel-discipline checker: completion order must never become data."""
+
+from __future__ import annotations
+
+
+class TestUnorderedMerge:
+    def test_flags_append_inside_as_completed_loop(self, rule_ids) -> None:
+        assert "par-unordered-merge" in rule_ids(
+            """
+            from concurrent.futures import as_completed
+            results = []
+            for future in as_completed(futures):
+                results.append(future.result())
+            """
+        )
+
+    def test_flags_extend_and_qualified_as_completed(self, rule_ids) -> None:
+        assert "par-unordered-merge" in rule_ids(
+            """
+            import concurrent.futures as cf
+            rows = []
+            for future in cf.as_completed(futures):
+                rows.extend(future.result())
+            """
+        )
+
+    def test_flags_enumerate_of_as_completed(self, rule_ids) -> None:
+        """enumerate() numbers the *completion* order — the one value
+        that must never be used as a key."""
+        assert "par-unordered-merge" in rule_ids(
+            """
+            from concurrent.futures import as_completed
+            out = []
+            for position, future in enumerate(as_completed(futures)):
+                out.append((position, future.result()))
+            """
+        )
+
+    def test_flags_list_materialization(self, rule_ids) -> None:
+        assert "par-unordered-merge" in rule_ids(
+            """
+            from concurrent.futures import as_completed
+            done = list(as_completed(futures))
+            """
+        )
+
+    def test_flags_list_comprehension(self, rule_ids) -> None:
+        assert "par-unordered-merge" in rule_ids(
+            """
+            from concurrent.futures import as_completed
+            values = [f.result() for f in as_completed(futures)]
+            """
+        )
+
+    def test_allows_dict_keyed_by_submission_index(self, rule_ids) -> None:
+        """The sanctioned pattern: index erases completion order."""
+        assert rule_ids(
+            """
+            from concurrent.futures import as_completed
+            results = {}
+            for future in as_completed(futures):
+                index, value = future.result()
+                results[index] = value
+            ordered = [results[i] for i in range(len(results))]
+            """
+        ) == []
+
+    def test_allows_dict_comprehension(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            from concurrent.futures import as_completed
+            results = {index_of[f]: f.result() for f in as_completed(futures)}
+            """
+        ) == []
+
+    def test_allows_yielding_tagged_pairs(self, rule_ids) -> None:
+        """The executor's own stream: yield (index, result), set.add."""
+        assert rule_ids(
+            """
+            from concurrent.futures import as_completed
+            def stream(futures):
+                done = set()
+                for future in as_completed(futures):
+                    index, result = future.result()
+                    done.add(index)
+                    yield index, result
+            """,
+            rules=["par-unordered-merge"],
+        ) == []
+
+    def test_allows_sorted_as_explicit_canonicalization(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            from concurrent.futures import as_completed
+            done = sorted(as_completed(futures), key=keyfn)
+            """
+        ) == []
+
+    def test_ordinary_loops_untouched(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            rows = []
+            for item in items:
+                rows.append(item)
+            """
+        ) == []
+
+    def test_suppression_comment(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            from concurrent.futures import as_completed
+            rows = []
+            for f in as_completed(futures):
+                rows.append(f.result())  # lint: ignore[par-unordered-merge] log only
+            """
+        ) == []
+
+
+class TestUnstableShardHash:
+    def test_flags_builtin_hash_modulo(self, rule_ids) -> None:
+        assert "par-unstable-shard-hash" in rule_ids(
+            """
+            shard = hash(name) % 8
+            """
+        )
+
+    def test_allows_stable_shard_of(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            from repro.parallel import shard_of
+            shard = shard_of(name, 8)
+            """,
+            module="repro.crawler.fixture",
+            path="src/repro/crawler/fixture.py",
+        ) == []
+
+    def test_allows_other_modulo(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            bucket = index % 8
+            digest_bucket = stable_hash(name) % 8
+            """
+        ) == []

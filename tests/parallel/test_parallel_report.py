@@ -1,0 +1,91 @@
+"""Parallel analysis: the headline report never depends on worker count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_report, report_json
+from repro.parallel import ProcessExecutor, resolve_executor
+from repro.simulation import ScenarioConfig, run_scenario
+
+N_DOMAINS = 80
+WORLD_SEED = 21
+
+
+@pytest.fixture(scope="module")
+def world():
+    return run_scenario(ScenarioConfig(n_domains=N_DOMAINS, seed=WORLD_SEED))
+
+
+@pytest.fixture(scope="module")
+def crawl(world):
+    return world.run_crawl()
+
+
+@pytest.fixture(scope="module")
+def serial_json(world, crawl) -> str:
+    dataset, _ = crawl
+    report = build_report(dataset, world.oracle, seed=world.config.seed)
+    return report_json(report)
+
+
+class TestParallelReport:
+    def test_process_pool_report_is_byte_identical(
+        self, world, crawl, serial_json
+    ) -> None:
+        dataset, _ = crawl
+        report = build_report(
+            dataset,
+            world.oracle,
+            seed=world.config.seed,
+            executor=ProcessExecutor(2),
+        )
+        assert report_json(report) == serial_json
+
+    def test_resolved_executor_matches_too(self, world, crawl, serial_json) -> None:
+        dataset, _ = crawl
+        report = build_report(
+            dataset,
+            world.oracle,
+            seed=world.config.seed,
+            executor=resolve_executor(4),
+        )
+        assert report_json(report) == serial_json
+
+    def test_serial_executor_takes_the_serial_path(
+        self, world, crawl, serial_json
+    ) -> None:
+        dataset, _ = crawl
+        report = build_report(
+            dataset,
+            world.oracle,
+            seed=world.config.seed,
+            executor=resolve_executor(1),
+        )
+        assert report_json(report) == serial_json
+
+
+class TestReportJson:
+    def test_canonical_encoding(self, serial_json) -> None:
+        """Compact separators, sorted keys, trailing newline — the byte
+        encoding the CI determinism gate compares."""
+        assert serial_json.endswith("\n")
+        assert ": " not in serial_json
+        assert serial_json.startswith('{"')
+
+    def test_roundtrips_as_json(self, serial_json) -> None:
+        import json
+
+        payload = json.loads(serial_json)
+        assert set(payload) >= {
+            "summary",
+            "delays",
+            "actors",
+            "comparison",
+            "resale",
+            "losses_noncustodial",
+            "losses_with_coinbase",
+            "hijackable",
+            "profit",
+            "typosquat",
+        }

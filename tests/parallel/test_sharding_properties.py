@@ -1,0 +1,133 @@
+"""Properties the determinism guarantee rests on.
+
+Two load-bearing facts, checked by hypothesis rather than examples:
+
+* shard assignment is a pure function of ``(key, shard_count)`` —
+  stable across processes, runs, and machines (it is SHA-256, not the
+  salted builtin ``hash``), and
+* merging per-shard results is permutation-invariant: whatever order
+  shards arrive in (completion order is scheduler noise), the merged
+  dataset is identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.storage import dataset_digest
+from repro.parallel import (
+    DEFAULT_SHARD_COUNT,
+    merge_keyed_lists,
+    merge_staged_transactions,
+    partition,
+    shard_of,
+)
+
+from ..core.helpers import make_dataset, make_domain, make_registration, make_tx
+
+keys = st.text(min_size=0, max_size=40)
+shard_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestShardOf:
+    @given(key=keys, shard_count=shard_counts)
+    def test_in_range_and_pure(self, key: str, shard_count: int) -> None:
+        first = shard_of(key, shard_count)
+        assert 0 <= first < shard_count
+        assert shard_of(key, shard_count) == first
+
+    def test_golden_values_pin_the_hash_function(self) -> None:
+        """Changing the hash silently invalidates every sharded
+        checkpoint; these literals make that a visible test failure."""
+        assert shard_of("gold.eth", 8) == 6
+        assert shard_of("alice.eth", 8) == 7
+        assert shard_of("0xabc", 8) == 0
+        assert shard_of("gold.eth", 3) == 2
+
+    def test_rejects_nonpositive_counts(self) -> None:
+        with pytest.raises(ValueError):
+            shard_of("gold.eth", 0)
+
+    @given(key=keys)
+    def test_single_shard_takes_everything(self, key: str) -> None:
+        assert shard_of(key, 1) == 0
+
+    def test_default_shard_count_is_fixed(self) -> None:
+        """The shard count is a property of the partition, not of the
+        worker count — resuming with different --workers must agree."""
+        assert DEFAULT_SHARD_COUNT == 8
+
+
+class TestPartition:
+    @given(
+        items=st.lists(keys, max_size=50, unique=True),
+        shard_count=shard_counts,
+    )
+    def test_disjoint_cover_preserving_order(self, items, shard_count) -> None:
+        shards = partition(items, shard_count)
+        assert len(shards) == shard_count
+        # cover: every item lands in exactly its assigned shard
+        assert sorted(item for shard in shards for item in shard) == sorted(items)
+        for index, shard in enumerate(shards):
+            for item in shard:
+                assert shard_of(item, shard_count) == index
+        # order: within a shard, original relative order survives
+        for shard in shards:
+            positions = [items.index(item) for item in shard]
+            assert positions == sorted(positions)
+
+
+# -- permutation invariance of the merge --------------------------------------
+
+WALLETS = ["0xa", "0xb", "0xc", "0xd"]
+
+
+def _staged_for(order: list[int]) -> dict[int, list[tuple[str, list]]]:
+    """Per-shard (wallet, txs) pairs, dict built in ``order``."""
+    by_shard: dict[int, list[tuple[str, list]]] = {}
+    for position, wallet in enumerate(WALLETS):
+        shard = shard_of(wallet, 4)
+        txs = [make_tx("0xs", wallet, 100 + position), make_tx("0xt", wallet, 50)]
+        by_shard.setdefault(shard, []).append((wallet, txs))
+    return {index: by_shard[index] for index in order if index in by_shard}
+
+
+def _base_dataset():
+    return make_dataset(
+        [make_domain("gold", [make_registration("0xa", 100, 465)])]
+    )
+
+
+class TestMergePermutationInvariance:
+    @given(order=st.permutations(list(range(4))))
+    @settings(max_examples=24, deadline=None)
+    def test_any_arrival_order_yields_identical_datasets(self, order) -> None:
+        reference = _base_dataset()
+        merge_staged_transactions(reference, _staged_for(list(range(4))))
+        permuted = _base_dataset()
+        merge_staged_transactions(permuted, _staged_for(list(order)))
+        assert dataset_digest(permuted) == dataset_digest(reference)
+        assert [tx.tx_hash for tx in permuted.transactions] == [
+            tx.tx_hash for tx in reference.transactions
+        ]
+
+    @given(order=st.permutations(list(range(4))))
+    @settings(max_examples=24, deadline=None)
+    def test_merge_keyed_lists_ignores_dict_insertion_order(self, order) -> None:
+        merged, conflicts = merge_keyed_lists(_staged_for(list(order)))
+        reference, ref_conflicts = merge_keyed_lists(_staged_for(list(range(4))))
+        assert conflicts == ref_conflicts == 0
+        assert merged == reference
+        assert list(merged) == list(reference)
+
+    def test_duplicate_key_across_shards_counts_a_conflict(self) -> None:
+        staged = {
+            1: [("0xa", [make_tx("0xs", "0xa", 10)])],
+            0: [("0xa", [make_tx("0xs", "0xa", 20)])],
+        }
+        merged, conflicts = merge_keyed_lists(staged)
+        assert conflicts == 1
+        # canonical fold order is shard index, so shard 0 wins
+        assert merged["0xa"][0].timestamp == 20 * 86_400

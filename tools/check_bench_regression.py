@@ -3,15 +3,21 @@
 Usage::
 
     python tools/check_bench_regression.py BASELINE.json CURRENT.json \
-        [--threshold 2.0]
+        [--threshold 2.0] [--allow-missing]
 
 Benchmarks are matched by their pytest ``fullname``. A benchmark
 regresses when its current mean exceeds ``threshold`` times the
-baseline mean; any regression makes the script exit non-zero with a
-per-benchmark table on stdout. Benchmarks present on only one side are
-reported but never fail the check (the sweep is configurable via
-``REPRO_BENCH_SCALES``, so baseline and CI runs may legitimately cover
-different scales).
+baseline mean; any regression makes the script exit ``1`` with a
+per-benchmark table on stdout.
+
+A benchmark present in the *baseline* but absent from the current
+report exits ``3`` (distinct from the regression exit code): a renamed
+or deleted bench would otherwise silently drop out of the gate and
+every future regression in it would pass. Pass ``--allow-missing``
+when the omission is intentional (e.g. a CI job that runs a subset of
+scales) — missing benches are then reported but don't fail.
+*New* benchmarks with no baseline never fail; they are reported so the
+baseline can be refreshed.
 
 The threshold is deliberately loose (2x by default): this is a smoke
 check against order-of-magnitude regressions — e.g. an analysis
@@ -24,6 +30,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: Exit code when a baseline benchmark is missing from the current report.
+EXIT_MISSING_BASELINE_BENCH = 3
 
 
 def load_means(path: str) -> dict[str, float]:
@@ -40,8 +49,8 @@ def compare(
     baseline: dict[str, float],
     current: dict[str, float],
     threshold: float,
-) -> list[str]:
-    """Return the fullnames that regressed past the threshold."""
+) -> tuple[list[str], list[str]]:
+    """Return (regressed fullnames, baseline benches missing from current)."""
     regressions: list[str] = []
     shared = sorted(set(baseline) & set(current))
     width = max((len(name) for name in shared), default=10)
@@ -55,11 +64,12 @@ def compare(
         )
         if ratio > threshold:
             regressions.append(name)
-    for name in sorted(set(baseline) - set(current)):
-        print(f"{name}: only in baseline (skipped)")
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"{name}: in baseline but MISSING from the current report")
     for name in sorted(set(current) - set(baseline)):
         print(f"{name}: new benchmark, no baseline (skipped)")
-    return regressions
+    return regressions, missing
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,9 +82,15 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail when current mean > threshold * baseline mean (default 2.0)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="report baseline benchmarks absent from the current run"
+        " without failing (intentional subset runs)",
+    )
     args = parser.parse_args(argv)
 
-    regressions = compare(
+    regressions, missing = compare(
         load_means(args.baseline), load_means(args.current), args.threshold
     )
     if regressions:
@@ -83,6 +99,14 @@ def main(argv: list[str] | None = None) -> int:
             f" {args.threshold:.1f}x baseline"
         )
         return 1
+    if missing and not args.allow_missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the current"
+            " report — a renamed or deleted bench silently leaves the gate."
+            " Refresh benchmarks/BENCH_baseline.json, or pass --allow-missing"
+            " if this run intentionally covers a subset."
+        )
+        return EXIT_MISSING_BASELINE_BENCH
     print("\nno regressions past threshold")
     return 0
 

@@ -1,0 +1,153 @@
+"""Gate: the report pipeline is byte-identical at every worker count.
+
+Usage::
+
+    python tools/check_report_determinism.py \
+        [--domains 120] [--seed 5] [--workers 1,4] \
+        [--golden tests/golden/report_digests.json] [--update-golden]
+
+Runs the full ``repro report`` pipeline (scenario crawl + analysis)
+once per worker count through the real CLI entry point, writing each
+run's canonical report JSON via ``--json-out``, and fails unless every
+run produced *byte-identical* output. This is the CI determinism gate
+for :mod:`repro.parallel`: sharded fan-out must be invisible in the
+results, not merely statistically close.
+
+The agreed bytes are additionally hashed (SHA-256) and compared
+against a committed golden digest, which catches a subtler failure:
+a change that is self-consistent across worker counts but silently
+alters the analysis output. Refresh the golden intentionally with
+``--update-golden`` when the output is *supposed* to change.
+
+Exit codes (``2`` is left to argparse):
+
+* ``0`` — identical across worker counts and matching the golden.
+* ``1`` — worker counts disagree (a nondeterministic merge).
+* ``3`` — consistent across workers but drifted from the golden.
+* ``4`` — golden file missing/unreadable (run ``--update-golden``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+EXIT_WORKER_MISMATCH = 1
+EXIT_GOLDEN_DRIFT = 3
+EXIT_GOLDEN_MISSING = 4
+
+DEFAULT_GOLDEN = Path(__file__).resolve().parent.parent / (
+    "tests/golden/report_digests.json"
+)
+
+
+def run_report(domains: int, seed: int, workers: int, out: Path) -> None:
+    """Invoke the real CLI in-process; raise if it exits non-zero."""
+    from repro.cli import main as cli_main
+
+    code = cli_main(
+        [
+            "report",
+            "--domains", str(domains),
+            "--seed", str(seed),
+            "--workers", str(workers),
+            "--json-out", str(out),
+        ]
+    )
+    if code != 0:
+        raise RuntimeError(f"repro report --workers {workers} exited {code}")
+
+
+def scenario_key(domains: int, seed: int) -> str:
+    return f"domains={domains},seed={seed}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--domains", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--workers",
+        default="1,4",
+        help="comma-separated worker counts to compare (default 1,4)",
+    )
+    parser.add_argument(
+        "--golden",
+        type=Path,
+        default=DEFAULT_GOLDEN,
+        help="committed digest file (default tests/golden/report_digests.json)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the golden digest from this run instead of checking it",
+    )
+    args = parser.parse_args(argv)
+    worker_counts = [int(part) for part in args.workers.split(",") if part]
+
+    outputs: dict[int, bytes] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in worker_counts:
+            out = Path(tmp) / f"report-w{workers}.json"
+            run_report(args.domains, args.seed, workers, out)
+            outputs[workers] = out.read_bytes()
+            print(
+                f"workers={workers}: {len(outputs[workers])} bytes,"
+                f" sha256={hashlib.sha256(outputs[workers]).hexdigest()[:16]}…"
+            )
+
+    reference_workers = worker_counts[0]
+    reference = outputs[reference_workers]
+    mismatched = [w for w in worker_counts[1:] if outputs[w] != reference]
+    if mismatched:
+        print(
+            f"\nFAIL: report bytes at workers={mismatched} differ from"
+            f" workers={reference_workers} — a merge is leaking completion"
+            " order or worker count into the output"
+        )
+        return EXIT_WORKER_MISMATCH
+    print(f"report byte-identical across workers={worker_counts}")
+
+    digest = hashlib.sha256(reference).hexdigest()
+    key = scenario_key(args.domains, args.seed)
+    if args.update_golden:
+        existing: dict[str, str] = {}
+        if args.golden.exists():
+            existing = json.loads(args.golden.read_text(encoding="utf-8"))
+        existing[key] = digest
+        args.golden.parent.mkdir(parents=True, exist_ok=True)
+        args.golden.write_text(
+            json.dumps(existing, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"golden updated: {key} -> {digest}")
+        return 0
+
+    try:
+        golden = json.loads(args.golden.read_text(encoding="utf-8"))
+        expected = golden[key]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(
+            f"\nFAIL: no golden digest for '{key}' in {args.golden} ({exc!r});"
+            " run with --update-golden to record one"
+        )
+        return EXIT_GOLDEN_MISSING
+    if digest != expected:
+        print(
+            f"\nFAIL: report is consistent across worker counts but its"
+            f" digest drifted from the committed golden\n"
+            f"  expected {expected}\n  got      {digest}\n"
+            "If the analysis output was intentionally changed, refresh with"
+            " --update-golden and commit the diff"
+        )
+        return EXIT_GOLDEN_DRIFT
+    print(f"golden digest matches ({digest[:16]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
