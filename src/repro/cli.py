@@ -9,6 +9,8 @@ The workflows of the repository as one tool::
     repro predict ./crawl                                  # risk predictor
     repro report --domains 800                             # all-in-one, in memory
     repro lint src                                         # structural invariants
+    repro obs ls                                           # the run ledger
+    repro obs diff -2 -1                                   # SLO/metric deltas
 
 Datasets are the JSONL layout of :mod:`repro.crawler.storage`; analyses
 use the default deterministic ETH-USD oracle, so a saved dataset
@@ -21,11 +23,21 @@ and spans as JSON; ``.prom`` suffix switches to Prometheus text format),
 time went without exporting metrics JSON). Progress goes to stderr
 through :mod:`repro.obs.log`; only results are printed to stdout, so
 piping stays clean.
+
+Every run also appends a record — command, argv, git sha, dataset
+fingerprint, metrics, spans, SLO verdicts — to the run ledger
+(``--ledger-dir DIR`` / ``$REPRO_LEDGER_DIR`` / ``.repro/ledger``;
+``--no-ledger`` skips), and ``repro obs`` reads the history back:
+``ls`` lists recent runs, ``show <ref>`` renders one run's trace and
+metrics, ``diff <a> <b>`` prints deltas and exits non-zero when an
+objective that passed in ``a`` fails in ``b``. SLO sets come from
+``--slo PATH``, ``.repro/slo.json``, or built-in per-command defaults.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -36,12 +48,18 @@ from .lint.cli import add_lint_arguments
 from .lint.cli import run as _cmd_lint
 from .obs import (
     MetricsRegistry,
+    RunLedger,
+    RunRecord,
     Tracer,
+    default_slos,
+    evaluate_slos,
     get_logger,
     global_registry,
+    load_slos,
     prometheus_text,
     write_run_report,
 )
+from .obs.runledger import DEFAULT_LEDGER_DIR, wall_now
 from .oracle import EthUsdOracle
 from .parallel import resolve_executor
 from .simulation import ScenarioConfig, run_scenario
@@ -49,6 +67,9 @@ from .simulation import ScenarioConfig, run_scenario
 __all__ = ["main", "build_parser"]
 
 _log = get_logger("cli")
+
+#: The SLO config consulted when no ``--slo PATH`` was given.
+DEFAULT_SLO_CONFIG = ".repro/slo.json"
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +93,25 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         const=10,
         default=None,
         help="print the N slowest analysis spans after the run (default 10)",
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or"
+        f" {DEFAULT_LEDGER_DIR})",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending this run to the run ledger",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="SLO config JSON evaluated after the run (default:"
+        f" {DEFAULT_SLO_CONFIG} if present, else built-in objectives)",
     )
 
 
@@ -182,6 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
 
+    obs = subparsers.add_parser(
+        "obs", help="inspect the run ledger: recent runs, traces, SLO diffs"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_ls = obs_sub.add_parser("ls", help="list recent ledger runs")
+    obs_ls.add_argument(
+        "-n", "--limit", type=int, default=15, help="show the newest N runs"
+    )
+    obs_show = obs_sub.add_parser(
+        "show", help="render one run: header, SLOs, metrics, trace tree"
+    )
+    obs_show.add_argument(
+        "run", help="run reference: seq, run-id prefix, 'latest', or -1/-2/…"
+    )
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="metric/SLO deltas between two runs"
+        " (exits non-zero on SLO regressions)",
+    )
+    obs_diff.add_argument("run_a", help="baseline run reference")
+    obs_diff.add_argument("run_b", help="candidate run reference")
+    for subparser in (obs_ls, obs_show, obs_diff):
+        subparser.add_argument(
+            "--ledger-dir",
+            metavar="DIR",
+            default=None,
+            help="run-ledger directory (default: $REPRO_LEDGER_DIR or"
+            f" {DEFAULT_LEDGER_DIR})",
+        )
+
     for subparser in (simulate, crawl, analyze, report):
         _add_workers_arg(subparser)
     for subparser in (simulate, crawl, analyze, predict, report, figures, sweep):
@@ -189,17 +259,85 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _ledger_dir(args: argparse.Namespace) -> str:
+    """Resolve the ledger directory: flag, then env, then the default."""
+    explicit = getattr(args, "ledger_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_LEDGER_DIR") or DEFAULT_LEDGER_DIR
+
+
 class _RunObservability:
-    """One registry + tracer per CLI invocation, flushed at the end."""
+    """One registry + tracer per CLI invocation, flushed at the end.
+
+    ``finish()`` also evaluates the run's SLO set and appends a
+    :class:`~repro.obs.RunRecord` to the run ledger (unless
+    ``--no-ledger``), so every invocation leaves a comparable trail for
+    ``repro obs`` and the bench-regression gate.
+    """
 
     def __init__(self, args: argparse.Namespace) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(registry=self.registry)
+        self.command: str = getattr(args, "command", "") or ""
+        self.workers: int | None = getattr(args, "workers", None)
+        self.dataset_fingerprint: str | None = None
+        self.shard_count: int | None = None
+        self._started: float = wall_now()
+        self._argv: list[str] = list(getattr(args, "_argv", ()) or ())
         self._metrics_out: str | None = getattr(args, "metrics_out", None)
         self._trace: bool = getattr(args, "trace", False)
         self._profile: int | None = getattr(args, "profile", None)
+        self._no_ledger: bool = getattr(args, "no_ledger", False)
+        self._ledger_dir: str = _ledger_dir(args)
+        self._slo_path: str | None = getattr(args, "slo", None)
+
+    def _resolve_slos(self):
+        if self._slo_path:
+            return load_slos(self._slo_path)
+        if os.path.isfile(DEFAULT_SLO_CONFIG):
+            return load_slos(DEFAULT_SLO_CONFIG)
+        return default_slos(self.command)
+
+    def _evaluate_and_record(self) -> None:
+        slo_results = evaluate_slos(
+            self._resolve_slos(),
+            [self.registry, global_registry()],
+            self.tracer,
+        )
+        for result in slo_results:
+            if result.status == "fail":
+                _log.warning(
+                    "slo.fail",
+                    name=result.slo.name,
+                    value=result.value,
+                    threshold=result.slo.threshold,
+                )
+        if self._no_ledger:
+            return
+        record = RunRecord.capture(
+            self.command,
+            argv=self._argv,
+            registries=[self.registry, global_registry()],
+            tracer=self.tracer,
+            started_at=self._started,
+            dataset_fingerprint=self.dataset_fingerprint,
+            workers=self.workers,
+            shard_count=self.shard_count,
+            slo_results=slo_results,
+        )
+        try:
+            path = RunLedger(self._ledger_dir).append(record)
+        except OSError as exc:
+            # a read-only or full disk must never fail the run itself
+            _log.warning("ledger.append_failed", error=str(exc))
+            return
+        _log.info(
+            "ledger.appended", run_id=record.run_id, path=str(path)
+        )
 
     def finish(self) -> None:
+        self._evaluate_and_record()
         if self._metrics_out:
             registries = [self.registry, global_registry()]
             if self._metrics_out.endswith(".prom"):
@@ -241,6 +379,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         with obs.tracer.span("simulate.save"):
             directory = save_dataset(dataset, args.out)
+    obs.dataset_fingerprint = dataset_digest(dataset)
     simulate_span = obs.tracer.find("simulate")
     elapsed = simulate_span.duration if simulate_span else 0.0
     print(f"  {crawl.domains_crawled} domains crawled"
@@ -295,7 +434,8 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         f" {crawl.transactions_crawled} transactions,"
         f" {crawl.market_events_crawled} market events"
     )
-    print(f"  dataset digest {dataset_digest(dataset)}")
+    obs.dataset_fingerprint = dataset_digest(dataset)
+    print(f"  dataset digest {obs.dataset_fingerprint}")
     if args.out:
         directory = save_dataset(dataset, args.out)
         print(f"  dataset written to {directory}")
@@ -310,6 +450,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     with obs.tracer.span("analyze.load"):
         dataset = load_dataset(args.dataset)
         dataset.validate()
+    obs.dataset_fingerprint = dataset_digest(dataset)
     print("--- dataset ---")
     for line in describe_dataset(dataset).lines():
         print(line)
@@ -369,6 +510,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     dataset, _ = world.run_crawl(
         registry=obs.registry, tracer=obs.tracer, executor=executor
     )
+    obs.dataset_fingerprint = dataset_digest(dataset)
     report = build_report(
         dataset,
         world.oracle,
@@ -410,6 +552,194 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_started(started_at: float | None) -> str:
+    if started_at is None:
+        return "-"
+    import datetime
+
+    stamp = datetime.datetime.fromtimestamp(started_at)
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _slo_cell(record: RunRecord) -> str:
+    """One-word SLO verdict for the ``obs ls`` table."""
+    if not record.slos:
+        return "-"
+    failures = record.slo_failures
+    measured = [s for s in record.slos if s.get("status") != "no_data"]
+    if failures:
+        return f"FAIL({','.join(failures)})"
+    return f"pass {len(measured)}/{len(record.slos)}"
+
+
+def _flatten_metrics(metrics: dict) -> dict[str, float]:
+    """``record.metrics`` → flat ``name{k=v}[.stat]`` → number mapping.
+
+    Histogram samples expand into ``.count`` / ``.sum`` / ``.p50`` /
+    ``.p99`` sub-keys so ``obs diff`` can compare like with like.
+    """
+    flat: dict[str, float] = {}
+    for name, family in sorted(metrics.items()):
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels") or {}
+            key = name
+            if labels:
+                inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                key = f"{name}{{{inner}}}"
+            if "value" in sample:
+                if isinstance(sample["value"], (int, float)):
+                    flat[key] = float(sample["value"])
+                continue
+            for stat in ("count", "sum", "p50", "p99"):
+                if isinstance(sample.get(stat), (int, float)):
+                    flat[f"{key}.{stat}"] = float(sample[stat])
+    return flat
+
+
+def _span_dict_lines(spans: list, depth: int = 0) -> list[str]:
+    """Render a ledger record's stored span trees (same shape as --trace)."""
+    lines: list[str] = []
+    for span in spans:
+        duration = span.get("duration_seconds")
+        timing = "(open)" if duration is None else f"{duration:.3f}s"
+        marker = f"  [error: {span['error']}]" if span.get("error") else ""
+        label = f"{'  ' * depth}{span.get('name', '?')}"
+        lines.append(f"{label:<44s} {timing:>10s}{marker}")
+        lines.extend(_span_dict_lines(span.get("children", ()), depth + 1))
+    return lines
+
+
+def _obs_ls(ledger: RunLedger, args: argparse.Namespace) -> int:
+    records = ledger.records(limit=args.limit)
+    if not records:
+        print(f"no ledger entries in {ledger.directory}")
+        return 0
+    header = (
+        f"{'seq':>5s}  {'run_id':12s}  {'command':10s}  {'wrk':>3s}"
+        f"  {'duration':>9s}  {'slo':18s}  started"
+    )
+    print(header)
+    for record in records:
+        duration = (
+            "-"
+            if record.duration_seconds is None
+            else f"{record.duration_seconds:8.2f}s"
+        )
+        workers = "-" if record.workers is None else str(record.workers)
+        print(
+            f"{record.seq:>5d}  {record.run_id:12s}  {record.command:10s}"
+            f"  {workers:>3s}  {duration:>9s}  {_slo_cell(record):18s}"
+            f"  {_format_started(record.started_at)}"
+        )
+    return 0
+
+
+def _obs_show(ledger: RunLedger, args: argparse.Namespace) -> int:
+    record = ledger.load(args.run)
+    duration = (
+        "-"
+        if record.duration_seconds is None
+        else f"{record.duration_seconds:.2f}s"
+    )
+    print(f"run      {record.run_id}  (seq {record.seq})")
+    print(f"command  {record.command}" + (
+        f"  [{' '.join(record.argv)}]" if record.argv else ""
+    ))
+    print(f"started  {_format_started(record.started_at)}  duration {duration}")
+    if record.git_sha:
+        print(f"git      {record.git_sha}")
+    if record.dataset_fingerprint:
+        print(f"dataset  {record.dataset_fingerprint}")
+    if record.workers is not None:
+        shards = (
+            "" if record.shard_count is None else f"  shards {record.shard_count}"
+        )
+        print(f"workers  {record.workers}{shards}")
+    if record.slos:
+        print("--- slos ---")
+        for slo in record.slos:
+            value = slo.get("value")
+            shown = "-" if value is None else f"{value:.4g}"
+            print(
+                f"  {slo['status']:7s} {slo['name']:28s}"
+                f" {shown:>10s} <= {slo['threshold']:g}"
+            )
+    flat = _flatten_metrics(record.metrics)
+    if flat:
+        print("--- metrics ---")
+        for key, value in flat.items():
+            print(f"  {key:<52s} {value:12.6g}")
+    if record.spans:
+        print("--- trace ---")
+        for line in _span_dict_lines(record.spans):
+            print(line)
+    return 0
+
+
+def _obs_diff(ledger: RunLedger, args: argparse.Namespace) -> int:
+    before = ledger.load(args.run_a)
+    after = ledger.load(args.run_b)
+    print(
+        f"diff {before.run_id} (seq {before.seq}, {before.command})"
+        f" -> {after.run_id} (seq {after.seq}, {after.command})"
+    )
+
+    status_before = {s["name"]: s for s in before.slos}
+    regressions: list[str] = []
+    if before.slos or after.slos:
+        print("--- slos ---")
+        for slo in after.slos:
+            name = slo["name"]
+            old = status_before.get(name, {})
+            old_status = old.get("status", "absent")
+            if slo["status"] == "fail" and old_status != "fail":
+                regressions.append(name)
+                marker = "  << REGRESSION"
+            elif slo["status"] != "fail" and old_status == "fail":
+                marker = "  (fixed)"
+            else:
+                marker = ""
+            print(
+                f"  {name:28s} {old_status:>8s} -> {slo['status']:<8s}{marker}"
+            )
+
+    flat_before = _flatten_metrics(before.metrics)
+    flat_after = _flatten_metrics(after.metrics)
+    changed = [
+        key
+        for key in sorted(set(flat_before) | set(flat_after))
+        if flat_before.get(key) != flat_after.get(key)
+    ]
+    if changed:
+        print("--- metrics ---")
+        for key in changed:
+            old = flat_before.get(key)
+            new = flat_after.get(key)
+            old_s = "-" if old is None else f"{old:.6g}"
+            new_s = "-" if new is None else f"{new:.6g}"
+            delta = (
+                f"  ({new - old:+.6g})"
+                if old is not None and new is not None
+                else ""
+            )
+            print(f"  {key:<52s} {old_s:>12s} -> {new_s:<12s}{delta}")
+
+    if regressions:
+        print(f"SLO regressions: {', '.join(regressions)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    ledger = RunLedger(_ledger_dir(args))
+    handlers = {"ls": _obs_ls, "show": _obs_show, "diff": _obs_diff}
+    try:
+        return handlers[args.obs_command](ledger, args)
+    except FileNotFoundError as exc:
+        print(f"obs: {exc}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "crawl": _cmd_crawl,
@@ -419,12 +749,15 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: parse ``argv`` and dispatch to the subcommand."""
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw)
+    args._argv = raw
     return _COMMANDS[args.command](args)
 
 

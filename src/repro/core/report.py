@@ -21,9 +21,10 @@ from typing import Any
 
 from ..datasets.dataset import ENSDataset
 from ..obs.metrics import MetricsRegistry
+from ..obs.spanmerge import TelemetrySink
 from ..obs.tracing import Tracer
 from ..oracle.ethusd import EthUsdOracle
-from ..parallel import ParallelExecutor
+from ..parallel import ParallelExecutor, worker_telemetry
 from .actors import ActorConcentration, actor_concentration
 from .comparison import FeatureComparison, compare_groups
 from .context import AnalysisContext
@@ -235,11 +236,28 @@ def _report_pass_group(
 
     Every group builds its own :class:`AnalysisContext` over the shared
     (forked copy-on-write) dataset — the context is a cache, so a
-    per-worker one changes effort, never output. Returns the report
-    fields the group produced, keyed by ``HeadlineReport`` field name.
+    per-worker one changes effort, never output. The context binds to
+    the task's worker telemetry, so per-group cache hit/miss counters
+    and an ``analyze.<group>`` span survive the merge back into the
+    parent run. Returns the report fields the group produced, keyed by
+    ``HeadlineReport`` field name.
     """
     dataset, oracle, seed, events = shared
-    context = AnalysisContext(dataset, oracle)
+    telemetry = worker_telemetry()
+    context = AnalysisContext(dataset, oracle, registry=telemetry.registry)
+    with telemetry.tracer.span(f"analyze.{group}"):
+        return _run_pass_group(dataset, oracle, seed, events, context, group)
+
+
+def _run_pass_group(
+    dataset: ENSDataset,
+    oracle: EthUsdOracle,
+    seed: int,
+    events: list,
+    context: AnalysisContext,
+    group: str,
+) -> dict[str, Any]:
+    """The body of one pass group, shared by worker and in-process paths."""
     if group == "overview":
         return {
             "summary": summarize(dataset, events=events),
@@ -334,9 +352,15 @@ def build_report(
                 events = context.reregistrations()
             with tracer.span("analyze.parallel", groups=len(_PASS_GROUPS)):
                 shared = (dataset, oracle, seed, events)
-                parts = executor.run(
-                    _report_pass_group, shared, list(_PASS_GROUPS)
+                executor.telemetry_sink = TelemetrySink(
+                    registry=registry, tracer=tracer
                 )
+                try:
+                    parts = executor.run(
+                        _report_pass_group, shared, list(_PASS_GROUPS)
+                    )
+                finally:
+                    executor.telemetry_sink = None
         fields: dict[str, Any] = {}
         for part in parts:  # item order == _PASS_GROUPS order: canonical
             fields.update(part)

@@ -43,14 +43,15 @@ from ..datasets.dataset import ENSDataset
 from ..explorer.labels import CATEGORY_COINBASE, CATEGORY_CUSTODIAL_EXCHANGE
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from ..obs.spanmerge import TelemetrySink
 from ..obs.tracing import Tracer
 from ..parallel import (
     DEFAULT_SHARD_COUNT,
     ParallelExecutor,
-    accumulate_counters,
     merge_staged_market_events,
     merge_staged_transactions,
     partition,
+    worker_telemetry,
 )
 from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
@@ -130,46 +131,46 @@ def coverage_fields(report: CrawlReport) -> dict[str, int]:
 #
 # Module-level so a spawn-started pool can pickle them. Each worker
 # builds its *own* client over the shared (forked/pickled) API handle
-# and a zeroed registry, so the counter snapshot it returns is a pure
-# delta the parent can add into its registries. Workers are pure in
-# (shared, shard): they only read the API and return records, which is
-# what lets the executor re-run them after a pool failure.
+# and its task's zeroed telemetry registry, so the registry snapshot
+# the executor captures is a pure delta the parent can merge — full
+# metrics (counters, gauges, histograms) plus every finished span, not
+# just counters. Workers are pure in (shared, shard): they only read
+# the API and return records, which is what lets the executor re-run
+# them after a pool failure.
 
 
 def _fetch_wallet_shard(
     shared: tuple[Any, int, int, float], wallets: list[str]
-) -> tuple[list[tuple[str, list[Any]]], dict[str, Any], float]:
+) -> list[tuple[str, list[Any]]]:
     """Fetch one shard of wallet transaction histories."""
     api, page_size, max_retries, initial_backoff = shared
-    registry = MetricsRegistry()
+    telemetry = worker_telemetry()
     client = EtherscanClient(
         api=api,
         page_size=page_size,
         max_retries=max_retries,
         initial_backoff_seconds=initial_backoff,
-        registry=registry,
+        registry=telemetry.registry,
     )
-    tracer = Tracer()
-    with tracer.span("shard") as span:
-        pairs = [
+    with telemetry.tracer.span("shard.transactions", wallets=len(wallets)):
+        return [
             (wallet, client.fetch_transactions(wallet)) for wallet in wallets
         ]
-    return pairs, registry.counter_snapshot(), span.duration or 0.0
 
 
 def _fetch_token_shard(
     shared: tuple[Any, int], tokens: list[str]
-) -> tuple[list[tuple[str, list[Any]]], dict[str, Any], float]:
+) -> list[tuple[str, list[Any]]]:
     """Fetch one shard of marketplace event feeds."""
     api, max_retries = shared
-    registry = MetricsRegistry()
-    client = OpenSeaClient(api=api, max_retries=max_retries, registry=registry)
-    tracer = Tracer()
-    with tracer.span("shard") as span:
-        pairs = [
+    telemetry = worker_telemetry()
+    client = OpenSeaClient(
+        api=api, max_retries=max_retries, registry=telemetry.registry
+    )
+    with telemetry.tracer.span("shard.market_events", tokens=len(tokens)):
+        return [
             (token, client.fetch_token_events(token)) for token in tokens
         ]
-    return pairs, registry.counter_snapshot(), span.duration or 0.0
 
 
 @dataclass
@@ -339,9 +340,14 @@ class DataCollectionPipeline:
         ``shard_count`` stable shards; shards a resumed checkpoint
         already recorded as done are skipped. Completed shards stream
         back in *completion* order — each one is staged by shard index,
-        its counters added into the parent registry, and a snapshot
+        its full telemetry (registry snapshot + worker spans) merged
+        through the executor's :class:`TelemetrySink`, and a snapshot
         committed — but nothing touches the dataset until every shard
-        is in and ``merge`` replays the serial insertion order.
+        is in and ``merge`` replays the serial insertion order. The
+        sink targets the stage's client registry, so the read-through
+        effort counters (``requests_made`` & co.) cover worker-side
+        work, and grafts worker spans under the open stage span, so a
+        sharded ``--trace`` is one coherent tree.
         """
         assert self.executor is not None and self.registry is not None
         shards = partition(items, self.shard_count)
@@ -351,23 +357,27 @@ class DataCollectionPipeline:
             for index, shard in enumerate(shards)
             if shard and index not in done
         ]
-        durations: dict[int, float] = {}
-        stream = self.executor.run_stream(
-            worker_fn, shared, [shard for _, shard in pending]
-        )
-        for position, (pairs, counters, duration) in stream:
-            shard_index, shard_items = pending[position]
-            staged[shard_index] = pairs
-            durations[shard_index] = duration
-            state.shards_done.setdefault(stage, []).append(shard_index)
-            state.units_done += len(shard_items)
-            self._shard_items.labels(stage=stage).inc(len(shard_items))
-            accumulate_counters(target_registry, [counters])
-            if self._store is not None:
-                self._write_checkpoint(state)
-        for shard_index in sorted(durations):
+        sink = TelemetrySink(registry=target_registry, tracer=self.tracer)
+        self.executor.telemetry_sink = sink
+        positions: list[int] = []
+        try:
+            stream = self.executor.run_stream(
+                worker_fn, shared, [shard for _, shard in pending]
+            )
+            for position, pairs in stream:
+                shard_index, shard_items = pending[position]
+                staged[shard_index] = pairs
+                positions.append(position)
+                state.shards_done.setdefault(stage, []).append(shard_index)
+                state.units_done += len(shard_items)
+                self._shard_items.labels(stage=stage).inc(len(shard_items))
+                if self._store is not None:
+                    self._write_checkpoint(state)
+        finally:
+            self.executor.telemetry_sink = None
+        for position in sorted(positions, key=lambda p: pending[p][0]):
             self._shard_duration.labels(stage=stage).observe(
-                durations[shard_index]
+                sink.task_duration(position)
             )
         conflicts = merge(state.dataset, staged)
         if conflicts:

@@ -1,7 +1,7 @@
 """Obs-hygiene checker: structured output only, no swallowed failures.
 
 Successor to ``tools/check_no_print.py`` (that script is now a shim
-over this checker). Two rules:
+over this checker). Three rules:
 
 * ``obs-no-print`` — ``print()`` in library code. Results go to stdout
   through the CLI layer; progress goes to stderr through
@@ -13,6 +13,13 @@ over this checker). Two rules:
   ``except Exception:`` / ``except BaseException:`` handler whose body
   is only ``pass``/``...``. Either would silently eat crawler retry
   failures that the metrics layer is supposed to count.
+* ``obs-span-unclosed`` — a ``.span(...)`` call used outside a ``with``
+  statement. A span opened without the context manager never records
+  its end instant; when the telemetry later crosses an executor
+  boundary (worker → parent merge), the open span serializes with no
+  duration and poisons every aggregate built from the merged trace.
+  The :mod:`repro.obs` package itself is exempt: the tracing layer and
+  tests of it manipulate spans directly by design.
 """
 
 from __future__ import annotations
@@ -61,18 +68,28 @@ class ObsHygieneChecker(Checker):
             "obs-swallowed-exception",
             "bare except or pass-only broad handler swallows failures",
         ),
+        Rule(
+            "obs-span-unclosed",
+            ".span(...) outside a with-statement never closes; open spans"
+            " cross executor merges with no duration",
+        ),
     )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
-        """Apply both rules to one file."""
+        """Apply every rule to one file."""
         if source.tree is None:
             return
+        in_obs = source.module is not None and source.module.startswith(
+            PRINT_EXEMPT_PACKAGES
+        )
         check_print = (
             self.enabled("obs-no-print")
             and source.module is not None
-            and not source.module.startswith(PRINT_EXEMPT_PACKAGES)
+            and not in_obs
             and source.path.rsplit("/", 1)[-1] not in PRINT_EXEMPT_FILES
         )
+        check_spans = self.enabled("obs-span-unclosed") and not in_obs
+        managed = self._with_context_exprs(source.tree) if check_spans else set()
         for node in ast.walk(source.tree):
             if (
                 check_print
@@ -88,6 +105,28 @@ class ObsHygieneChecker(Checker):
                 "obs-swallowed-exception"
             ):
                 yield from self._check_handler(source, node)
+            elif (
+                check_spans
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in managed
+            ):
+                yield self.finding(
+                    source, "obs-span-unclosed", node.lineno, node.col_offset,
+                    ".span(...) must be a `with` context manager — an"
+                    " unclosed span breaks worker telemetry merges",
+                )
+
+    @staticmethod
+    def _with_context_exprs(tree: ast.AST) -> set[int]:
+        """Node ids of every expression used directly as a with-item."""
+        managed: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        return managed
 
     def _check_handler(
         self, source: SourceFile, node: ast.ExceptHandler

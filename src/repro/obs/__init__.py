@@ -20,6 +20,7 @@ the metrics can never drift apart.
 from .exporters import (
     metrics_to_dict,
     prometheus_text,
+    sanitize_metric_name,
     span_tree_lines,
     write_run_report,
 )
@@ -34,6 +35,15 @@ from .metrics import (
     MetricsRegistry,
     global_registry,
 )
+from .runledger import LEDGER_SCHEMA_VERSION, RunLedger, RunRecord
+from .slo import SLO, SLOResult, default_slos, evaluate_slos, load_slos
+from .spanmerge import (
+    TelemetrySink,
+    WorkerTelemetry,
+    graft_spans,
+    span_from_payload,
+    span_to_payload,
+)
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -41,17 +51,31 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA_VERSION",
     "MetricError",
     "MetricFamily",
     "MetricsRegistry",
+    "RunLedger",
+    "RunRecord",
+    "SLO",
+    "SLOResult",
     "Span",
     "StructuredLogger",
+    "TelemetrySink",
     "Tracer",
+    "WorkerTelemetry",
     "configure",
+    "default_slos",
+    "evaluate_slos",
     "get_logger",
     "global_registry",
+    "graft_spans",
+    "load_slos",
     "metrics_to_dict",
     "prometheus_text",
+    "sanitize_metric_name",
+    "span_from_payload",
+    "span_to_payload",
     "span_tree_lines",
     "write_run_report",
 ]

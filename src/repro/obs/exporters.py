@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from pathlib import Path
 from typing import Any
 
@@ -26,6 +27,7 @@ from .tracing import Tracer
 __all__ = [
     "metrics_to_dict",
     "prometheus_text",
+    "sanitize_metric_name",
     "span_tree_lines",
     "write_run_report",
 ]
@@ -41,10 +43,48 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+#: Characters the exposition format requires to be escaped inside a
+#: quoted label value (in this order: backslash first).
+_LABEL_ESCAPES = str.maketrans(
+    {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+)
+
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a string into a legal Prometheus metric name.
+
+    Illegal characters become ``_``; a leading digit gets a ``_``
+    prefix. Registry instruments already use legal names, but span
+    names and user-supplied families flow through the exporter too.
+    """
+    sanitized = _NAME_BAD_CHARS.sub("_", str(name))
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _sanitize_label_name(name: str) -> str:
+    sanitized = _LABEL_BAD_CHARS.sub("_", str(name))
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"`` and newlines per the exposition format."""
+    return str(value).translate(_LABEL_ESCAPES)
+
+
 def _format_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{name}="{labels[name]}"' for name in labels)
+    inner = ",".join(
+        f'{_sanitize_label_name(name)}="{_escape_label_value(labels[name])}"'
+        for name in labels
+    )
     return "{" + inner + "}"
 
 
@@ -53,28 +93,30 @@ def prometheus_text(*registries: MetricsRegistry) -> str:
     lines: list[str] = []
     for registry in registries:
         for family in registry.families():
-            lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
+            name = sanitize_metric_name(family.name)
+            help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {family.kind}")
             for labels, sample in family.items():
                 if isinstance(sample, Histogram):
                     for upper, cumulative in sample.cumulative_buckets():
                         bucket_labels = dict(labels)
                         bucket_labels["le"] = _format_value(upper)
                         lines.append(
-                            f"{family.name}_bucket{_format_labels(bucket_labels)}"
+                            f"{name}_bucket{_format_labels(bucket_labels)}"
                             f" {cumulative}"
                         )
                     lines.append(
-                        f"{family.name}_sum{_format_labels(labels)}"
+                        f"{name}_sum{_format_labels(labels)}"
                         f" {_format_value(sample.sum)}"
                     )
                     lines.append(
-                        f"{family.name}_count{_format_labels(labels)}"
+                        f"{name}_count{_format_labels(labels)}"
                         f" {sample.count}"
                     )
                 else:
                     lines.append(
-                        f"{family.name}{_format_labels(labels)}"
+                        f"{name}{_format_labels(labels)}"
                         f" {_format_value(sample.value)}"
                     )
     return "\n".join(lines) + "\n"

@@ -1,0 +1,199 @@
+"""Cross-process span aggregation: serialize, rebase, and graft spans.
+
+A sharded crawl used to produce a trace with holes exactly where the
+interesting work happened: worker processes timed their own spans on
+their own clocks and threw them away. This module is the missing glue —
+
+* :func:`span_to_payload` / :func:`span_from_payload` — a lossless,
+  picklable/JSON-ready encoding of a finished span tree (names, start
+  and end instants, attributes, errors, children),
+* :func:`rebase_span` / :func:`graft_spans` — clock reconciliation: a
+  worker's instants are offsets on *its* clock (``time.perf_counter``
+  has an arbitrary per-process origin, and the parent may even be
+  tracing against a simulation's virtual clock), so grafting shifts
+  every instant by one constant offset chosen to align the latest
+  worker end with the parent-clock anchor (the moment the parent
+  received the payload). Durations — the measurements — are preserved
+  exactly; only the placement on the parent timeline is translated.
+* :class:`WorkerTelemetry` / :class:`TelemetrySink` — the two ends of
+  the capture channel. A worker task runs against a fresh
+  ``WorkerTelemetry`` (zeroed registry + tracer); its :meth:`capture`
+  payload travels back alongside the task result, and the parent-side
+  sink merges it: counters and histogram observations are added (order
+  cannot matter), gauges are last-write-wins *by task index* (so the
+  merged registry is deterministic under any completion order), and
+  the worker's span tree is grafted under the parent's currently open
+  span — one coherent trace, correct parentage, no holes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "TelemetrySink",
+    "WorkerTelemetry",
+    "graft_spans",
+    "rebase_span",
+    "span_from_payload",
+    "span_to_payload",
+]
+
+
+def span_to_payload(span: Span) -> dict[str, Any]:
+    """Lossless encoding of one span tree (start/end instants included).
+
+    :meth:`Span.as_dict` is for human/JSON export and keeps only
+    durations; this payload keeps the raw instants so a parent process
+    can rebase them onto its own clock.
+    """
+    payload: dict[str, Any] = {
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+    }
+    if span.attributes:
+        payload["attributes"] = dict(span.attributes)
+    if span.error is not None:
+        payload["error"] = span.error
+    if span.children:
+        payload["children"] = [span_to_payload(child) for child in span.children]
+    return payload
+
+
+def span_from_payload(payload: dict[str, Any]) -> Span:
+    """Reconstruct a :class:`Span` tree from :func:`span_to_payload`."""
+    span = Span(payload["name"], float(payload["start"]))
+    end = payload.get("end")
+    span.end = None if end is None else float(end)
+    span.error = payload.get("error")
+    span.attributes = dict(payload.get("attributes", {}))
+    span.children = [
+        span_from_payload(child) for child in payload.get("children", ())
+    ]
+    return span
+
+
+def rebase_span(span: Span, offset: float) -> None:
+    """Shift every instant in a span tree by ``offset`` (in place).
+
+    Durations are differences of instants, so they are invariant under
+    the shift — only the placement on the timeline moves.
+    """
+    span.start += offset
+    if span.end is not None:
+        span.end += offset
+    for child in span.children:
+        rebase_span(child, offset)
+
+
+def _latest_end(spans: list[Span]) -> float | None:
+    ends = [span.end for span in spans if span.end is not None]
+    return max(ends) if ends else None
+
+
+def graft_spans(
+    tracer: Tracer,
+    payloads: list[dict[str, Any]],
+    *,
+    end_anchor: float | None = None,
+) -> list[Span]:
+    """Attach serialized worker spans to the tracer's current span.
+
+    ``end_anchor`` is the parent-clock instant the payload arrived
+    (defaults to ``tracer.clock()``); the worker tree is shifted so its
+    latest end lands on that anchor — the task finished just before the
+    parent received it, which places the worker spans inside the
+    enclosing parent span on the parent's own (wall or virtual)
+    timeline. Returns the grafted root spans.
+    """
+    spans = [span_from_payload(payload) for payload in payloads]
+    if not spans:
+        return []
+    if end_anchor is None:
+        end_anchor = tracer.clock()
+    latest = _latest_end(spans)
+    if latest is not None:
+        offset = end_anchor - latest
+        for span in spans:
+            rebase_span(span, offset)
+    parent = tracer.current
+    if parent is not None:
+        parent.children.extend(spans)
+    else:
+        tracer.roots.extend(spans)
+    return spans
+
+
+class WorkerTelemetry:
+    """The telemetry context one executor task runs against.
+
+    A zeroed :class:`MetricsRegistry` plus a :class:`Tracer` wired to
+    it (worker span durations land in the worker's own
+    ``span_duration_seconds`` histogram and therefore survive the
+    merge). Worker functions obtain the active instance through
+    :func:`repro.parallel.worker_telemetry` and bind their clients and
+    spans to it; everything else is captured automatically.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(registry=self.registry)
+
+    def capture(self) -> dict[str, Any]:
+        """The full telemetry payload shipped back alongside the result."""
+        return {
+            "registry": self.registry.registry_snapshot(),
+            "spans": [span_to_payload(root) for root in self.tracer.roots],
+        }
+
+
+class TelemetrySink:
+    """Parent-side merge target for worker telemetry payloads.
+
+    Attach one to an executor (``executor.telemetry_sink = sink``)
+    before streaming tasks; the executor calls :meth:`on_task` for each
+    completed task, in completion order, before yielding its result.
+    The merge is deterministic regardless of that order: counters and
+    histogram observations are commutative additions, and gauges
+    resolve last-write-wins by *task index* via a shared source map.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.tasks: dict[int, dict[str, Any]] = {}
+        self._gauge_sources: dict[tuple[str, tuple[str, ...]], int] = {}
+
+    def on_task(self, index: int, payload: dict[str, Any]) -> None:
+        """Merge one task's captured telemetry into the parent."""
+        self.tasks[index] = payload
+        if self.registry is not None:
+            self.registry.merge_snapshot(
+                payload.get("registry", {}),
+                gauge_sources=self._gauge_sources,
+                source=index,
+            )
+        if self.tracer is not None:
+            graft_spans(self.tracer, payload.get("spans", ()))
+
+    def task_duration(self, index: int) -> float:
+        """Wall-clock seconds the task's root span covered (0.0 unknown)."""
+        payload = self.tasks.get(index)
+        if not payload:
+            return 0.0
+        total = 0.0
+        for root in payload.get("spans", ()):
+            end = root.get("end")
+            if end is not None:
+                total += end - root["start"]
+        return total

@@ -21,9 +21,11 @@ from .executor import (
     ProcessExecutor,
     SerialExecutor,
     resolve_executor,
+    worker_telemetry,
 )
 from .merge import (
     accumulate_counters,
+    accumulate_registry,
     merge_keyed_lists,
     merge_staged_market_events,
     merge_staged_transactions,
@@ -36,10 +38,12 @@ __all__ = [
     "ProcessExecutor",
     "SerialExecutor",
     "accumulate_counters",
+    "accumulate_registry",
     "merge_keyed_lists",
     "merge_staged_market_events",
     "merge_staged_transactions",
     "partition",
     "resolve_executor",
     "shard_of",
+    "worker_telemetry",
 ]

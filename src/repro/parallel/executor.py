@@ -21,6 +21,18 @@ inherit it copy-on-write for free; on spawn-only platforms it is
 pickled once per worker via the pool initializer. Platforms that
 cannot run subprocesses at all fall back to :class:`SerialExecutor`
 (``parallel_fallbacks_total`` counts those downgrades).
+
+**Worker telemetry.** Every task — in a pool worker, in the serial
+executor, or on the in-process fallback path — runs against a fresh
+:class:`~repro.obs.spanmerge.WorkerTelemetry` (a zeroed registry plus
+a tracer rooted at a ``task[<index>]`` span). The captured payload
+(full registry snapshot + finished spans) travels back alongside the
+result, and when the executor's ``telemetry_sink`` attribute holds a
+:class:`~repro.obs.spanmerge.TelemetrySink` it is merged into the
+parent registry/tracer as each task completes — so a ``--trace`` from
+a sharded run is one coherent tree, and worker-side gauges and
+histograms survive, not just counters. Worker functions reach their
+task's telemetry through :func:`worker_telemetry`.
 """
 
 from __future__ import annotations
@@ -31,18 +43,23 @@ from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkabl
 
 from ..obs.log import get_logger
 from ..obs.metrics import global_registry
+from ..obs.spanmerge import TelemetrySink, WorkerTelemetry
 
 __all__ = [
     "ParallelExecutor",
     "ProcessExecutor",
     "SerialExecutor",
     "resolve_executor",
+    "worker_telemetry",
 ]
 
 _log = get_logger("parallel.executor")
 
 #: Shared payload slot for forked/initialized workers (see module doc).
 _SHARED: Any = None
+
+#: Telemetry context of the task currently executing in this process.
+_TASK_TELEMETRY: WorkerTelemetry | None = None
 
 _UNSET = object()
 
@@ -55,17 +72,56 @@ def _init_worker(shared: Any = _UNSET) -> None:
         _SHARED = shared
 
 
-def _invoke(fn: Callable[[Any, Any], Any], index: int, item: Any) -> tuple[int, Any]:
+def worker_telemetry() -> WorkerTelemetry:
+    """The telemetry context of the currently executing task.
+
+    Worker functions bind their clients and spans here; the executor
+    captures the whole context when the task finishes and the parent
+    merges it. Outside a managed task (e.g. a worker function called
+    directly in a test) a fresh throwaway context is returned, so the
+    function still runs — its telemetry is simply not collected.
+    """
+    return _TASK_TELEMETRY if _TASK_TELEMETRY is not None else WorkerTelemetry()
+
+
+def _run_task(
+    fn: Callable[[Any, Any], Any], shared: Any, index: int, item: Any
+) -> tuple[Any, dict[str, Any]]:
+    """Run one task under a fresh telemetry context; capture it."""
+    global _TASK_TELEMETRY
+    telemetry = WorkerTelemetry()
+    _TASK_TELEMETRY = telemetry
+    try:
+        with telemetry.tracer.span(f"task[{index}]", index=index):
+            result = fn(shared, item)
+    finally:
+        _TASK_TELEMETRY = None
+    return result, telemetry.capture()
+
+
+def _invoke(
+    fn: Callable[[Any, Any], Any], index: int, item: Any
+) -> tuple[int, Any, dict[str, Any]]:
     """Run one task in a worker, tagging the result with its index."""
-    return index, fn(_SHARED, item)
+    result, telemetry = _run_task(fn, _SHARED, index, item)
+    return index, result, telemetry
 
 
 @runtime_checkable
 class ParallelExecutor(Protocol):
-    """What the pipeline and the analyses need from an executor."""
+    """What the pipeline and the analyses need from an executor.
+
+    ``telemetry_sink`` is part of the contract: callers attach a
+    :class:`~repro.obs.spanmerge.TelemetrySink` before streaming and
+    the executor delivers each completed task's captured telemetry to
+    it (completion order) before yielding the result. Executors that
+    ignore the sink still work — worker telemetry is then dropped, as
+    it was before cross-process capture existed.
+    """
 
     workers: int
     name: str
+    telemetry_sink: TelemetrySink | None
 
     def run(
         self, fn: Callable[[Any, Any], Any], shared: Any, items: Sequence[Any]
@@ -86,18 +142,24 @@ class SerialExecutor:
     workers = 1
     name = "serial"
 
+    def __init__(self) -> None:
+        self.telemetry_sink: TelemetrySink | None = None
+
     def run(
         self, fn: Callable[[Any, Any], Any], shared: Any, items: Sequence[Any]
     ) -> list[Any]:
         """Apply ``fn`` to every item in order, in this process."""
-        return [fn(shared, item) for item in items]
+        return [result for _, result in self.run_stream(fn, shared, items)]
 
     def run_stream(
         self, fn: Callable[[Any, Any], Any], shared: Any, items: Sequence[Any]
     ) -> Iterator[tuple[int, Any]]:
         """Yield ``(index, result)`` pairs; completion order == item order."""
         for index, item in enumerate(items):
-            yield index, fn(shared, item)
+            result, telemetry = _run_task(fn, shared, index, item)
+            if self.telemetry_sink is not None:
+                self.telemetry_sink.on_task(index, telemetry)
+            yield index, result
 
 
 class ProcessExecutor:
@@ -114,6 +176,7 @@ class ProcessExecutor:
         if workers < 2:
             raise ValueError("ProcessExecutor needs workers >= 2; use SerialExecutor")
         self.workers = workers
+        self.telemetry_sink: TelemetrySink | None = None
         self._start_method = start_method
         self._fallbacks = global_registry().counter(
             "parallel_fallbacks_total",
@@ -157,8 +220,10 @@ class ProcessExecutor:
                         for index, item in enumerate(items)
                     ]
                     for future in as_completed(futures):
-                        index, result = future.result()
+                        index, result, telemetry = future.result()
                         done.add(index)
+                        if self.telemetry_sink is not None:
+                            self.telemetry_sink.on_task(index, telemetry)
                         yield index, result
             except (BrokenExecutor, OSError) as exc:
                 self._fallbacks.inc()
@@ -169,7 +234,10 @@ class ProcessExecutor:
                 )
                 for index, item in enumerate(items):
                     if index not in done:
-                        yield index, fn(shared, item)
+                        result, telemetry = _run_task(fn, shared, index, item)
+                        if self.telemetry_sink is not None:
+                            self.telemetry_sink.on_task(index, telemetry)
+                        yield index, result
         finally:
             _SHARED = None
 

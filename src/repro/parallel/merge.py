@@ -24,6 +24,7 @@ from ..obs.metrics import MetricsRegistry
 
 __all__ = [
     "accumulate_counters",
+    "accumulate_registry",
     "merge_keyed_lists",
     "merge_staged_market_events",
     "merge_staged_transactions",
@@ -119,3 +120,21 @@ def accumulate_counters(
                 value = float(item["value"])
                 if value > 0:
                     sample.inc(value)
+
+
+def accumulate_registry(
+    registry: MetricsRegistry, snapshots: Iterable[Mapping[str, Any]]
+) -> None:
+    """Fold full worker registry snapshots into the parent registry.
+
+    The all-kinds successor to :func:`accumulate_counters`: histogram
+    observations are replayed (bucket counts, sums, and exact
+    percentiles stay correct) and gauges survive as last-write-wins —
+    previously both were silently dropped on merge, leaving worker-side
+    latency distributions invisible to the parent. Snapshots are folded
+    in the order given; callers that need order-independence for gauges
+    should merge through a :class:`~repro.obs.spanmerge.TelemetrySink`,
+    which resolves gauge writes by task index instead.
+    """
+    for source, snapshot in enumerate(snapshots):
+        registry.merge_snapshot(dict(snapshot), source=source)

@@ -9,6 +9,26 @@ from repro.ens import ENSDeployment
 from repro.oracle import EthUsdOracle
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _ledger_in_tmp(tmp_path_factory):
+    """Route every CLI run's ledger into a session tmp dir.
+
+    CLI invocations append run records by default; without this, tests
+    that call ``main()`` would litter the repo's ``.repro/ledger``.
+    Session-scoped so it is active before module-scoped fixtures that
+    invoke the CLI.
+    """
+    import os
+
+    previous = os.environ.get("REPRO_LEDGER_DIR")
+    os.environ["REPRO_LEDGER_DIR"] = str(tmp_path_factory.mktemp("ledger"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_LEDGER_DIR", None)
+    else:
+        os.environ["REPRO_LEDGER_DIR"] = previous
+
+
 @pytest.fixture()
 def chain() -> Blockchain:
     """A fresh chain starting at the 2020-01-01 genesis."""

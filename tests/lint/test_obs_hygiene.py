@@ -101,6 +101,68 @@ class TestSwallowedException:
         ) == []
 
 
+class TestSpanUnclosed:
+    def test_flags_span_call_outside_with(self, rule_ids) -> None:
+        assert "obs-span-unclosed" in rule_ids(
+            """
+            def leak(tracer):
+                span = tracer.span("crawl.3_transactions")
+                do_work()
+            """,
+            rules=["obs-hygiene"],
+        )
+
+    def test_with_statement_is_the_blessed_form(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def traced(tracer):
+                with tracer.span("stage", items=3):
+                    do_work()
+            """,
+            rules=["obs-hygiene"],
+        ) == []
+
+    def test_multiple_with_items_are_all_recognized(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def traced(a, b):
+                with a.span("outer"), b.span("inner"):
+                    do_work()
+            """,
+            rules=["obs-hygiene"],
+        ) == []
+
+    def test_span_passed_as_argument_is_flagged(self, rule_ids) -> None:
+        # handing the unopened context manager around still leaks it
+        assert "obs-span-unclosed" in rule_ids(
+            """
+            def leak(tracer):
+                schedule(tracer.span("deferred"))
+            """,
+            rules=["obs-hygiene"],
+        )
+
+    def test_obs_package_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def graft(tracer):
+                node = tracer.span("raw-manipulation")
+            """,
+            module="repro.obs.spanmerge",
+            path="src/repro/obs/spanmerge.py",
+            rules=["obs-hygiene"],
+        ) == []
+
+    def test_unrelated_span_free_calls_pass(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def fine(thing):
+                thing.spawn("not-a-span")
+            """,
+            rules=["obs-hygiene"],
+        ) == []
+
+
 class TestCheckNoPrintShim:
     """The historic tools/check_no_print.py CLI contract must survive."""
 

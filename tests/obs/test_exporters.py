@@ -9,6 +9,7 @@ from repro.obs import (
     Tracer,
     metrics_to_dict,
     prometheus_text,
+    sanitize_metric_name,
     write_run_report,
 )
 
@@ -69,6 +70,87 @@ class TestPrometheusText:
         registry = MetricsRegistry()
         registry.gauge("rate").set(float("nan"))
         assert "rate NaN" in prometheus_text(registry)
+
+
+class TestExpositionCompliance:
+    """The subset of the Prometheus exposition format a scraper parses."""
+
+    def test_label_values_escape_backslash_quote_newline(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits", labels=("path",))
+        counter.labels(path='a\\b"c\nd').inc()
+        line = [
+            l for l in prometheus_text(registry).splitlines()
+            if l.startswith("hits_total{")
+        ][0]
+        assert line == 'hits_total{path="a\\\\b\\"c\\nd"} 1'
+        # the escaped line must stay a single physical line
+        assert "\n" not in line
+
+    def test_help_text_escapes_newlines(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x_total", "line one\nline two").inc()
+        text = prometheus_text(registry)
+        assert "# HELP x_total line one\\nline two" in text
+
+    def test_histogram_exposes_inf_bucket_sum_and_count(self) -> None:
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "latency", buckets=(0.5,))
+        for value in (0.1, 0.7, 2.0):
+            hist.observe(value)
+        lines = prometheus_text(registry).splitlines()
+        assert 'lat_seconds_bucket{le="0.5"} 1' in lines
+        # the +Inf bucket is cumulative: every observation lands in it
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "lat_seconds_sum 2.8" in lines
+        assert "lat_seconds_count 3" in lines
+
+    def test_histogram_bucket_counts_are_monotone(self) -> None:
+        registry = MetricsRegistry()
+        hist = registry.histogram("d_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in prometheus_text(registry).splitlines()
+            if line.startswith("d_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestSanitizeMetricName:
+    def test_legal_names_pass_through(self) -> None:
+        assert sanitize_metric_name("crawl_requests_total") == (
+            "crawl_requests_total"
+        )
+        assert sanitize_metric_name("ns:subsystem_total") == (
+            "ns:subsystem_total"
+        )
+
+    def test_illegal_characters_become_underscores(self) -> None:
+        assert sanitize_metric_name("shard.transactions") == (
+            "shard_transactions"
+        )
+        assert sanitize_metric_name("task[0]") == "task_0_"
+
+    def test_leading_digit_gets_prefixed(self) -> None:
+        assert sanitize_metric_name("3_transactions") == "_3_transactions"
+
+    def test_empty_name_becomes_underscore(self) -> None:
+        assert sanitize_metric_name("") == "_"
+
+    def test_exporter_applies_sanitization(self) -> None:
+        # the registry validates names at registration, so smuggle in a
+        # family the way an out-of-band producer (merged snapshot from
+        # an older schema) could: the exporter must still emit legally
+        from repro.obs.metrics import MetricFamily
+
+        registry = MetricsRegistry()
+        family = MetricFamily("weird.name-total", "counter", "", ())
+        family.default.inc()
+        registry._families["weird.name-total"] = family
+        assert "weird_name_total 1" in prometheus_text(registry)
 
 
 class TestMetricsToDict:

@@ -1,0 +1,143 @@
+"""Cross-process span aggregation: payloads, rebasing, grafting, sinks."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.spanmerge import (
+    TelemetrySink,
+    WorkerTelemetry,
+    graft_spans,
+    rebase_span,
+    span_from_payload,
+    span_to_payload,
+)
+from repro.obs.tracing import Span
+
+
+def _worker_tree() -> Span:
+    """A finished two-level span tree on a synthetic worker clock."""
+    root = Span("task[0]", 10.0)
+    child = Span("shard.transactions", 10.5, wallets=3)
+    child.end = 12.5
+    root.children.append(child)
+    root.end = 13.0
+    return root
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_lossless(self) -> None:
+        root = _worker_tree()
+        root.error = "ValueError: boom"
+        restored = span_from_payload(span_to_payload(root))
+        assert restored.name == "task[0]"
+        assert restored.start == 10.0
+        assert restored.end == 13.0
+        assert restored.error == "ValueError: boom"
+        child = restored.children[0]
+        assert child.name == "shard.transactions"
+        assert child.attributes == {"wallets": 3}
+        assert child.duration == 2.0
+
+    def test_open_span_survives_with_no_end(self) -> None:
+        span = Span("stuck", 1.0)
+        restored = span_from_payload(span_to_payload(span))
+        assert restored.end is None
+        assert restored.duration is None
+
+
+class TestRebase:
+    def test_shift_preserves_durations(self) -> None:
+        root = _worker_tree()
+        rebase_span(root, 100.0)
+        assert root.start == 110.0
+        assert root.end == 113.0
+        assert root.duration == 3.0
+        assert root.children[0].duration == 2.0
+
+
+class TestGraft:
+    def test_grafts_under_current_span_on_parent_clock(self) -> None:
+        ticks = iter([50.0, 60.0, 70.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        payload = span_to_payload(_worker_tree())
+        with tracer.span("crawl.3_transactions"):
+            grafted = graft_spans(tracer, [payload])
+        parent = tracer.find("crawl.3_transactions")
+        assert parent.children == grafted
+        # latest worker end (13.0) is rebased onto the anchor (60.0)
+        assert grafted[0].end == 60.0
+        assert grafted[0].start == 57.0
+        assert grafted[0].duration == 3.0
+        assert grafted[0].children[0].duration == 2.0
+
+    def test_without_open_span_grafts_as_roots(self) -> None:
+        tracer = Tracer(clock=lambda: 5.0)
+        grafted = graft_spans(tracer, [span_to_payload(_worker_tree())])
+        assert tracer.roots == grafted
+
+    def test_explicit_anchor_wins(self) -> None:
+        tracer = Tracer(clock=lambda: 999.0)
+        grafted = graft_spans(
+            tracer, [span_to_payload(_worker_tree())], end_anchor=20.0
+        )
+        assert grafted[0].end == 20.0
+
+    def test_empty_payload_list_is_a_noop(self) -> None:
+        tracer = Tracer()
+        assert graft_spans(tracer, []) == []
+        assert tracer.roots == []
+
+
+class TestWorkerTelemetry:
+    def test_capture_ships_registry_and_spans(self) -> None:
+        telemetry = WorkerTelemetry()
+        telemetry.registry.counter("requests_total").inc(4)
+        with telemetry.tracer.span("task[2]"):
+            pass
+        payload = telemetry.capture()
+        assert payload["registry"]["requests_total"]["samples"][0]["value"] == 4
+        assert payload["spans"][0]["name"] == "task[2]"
+
+
+class TestTelemetrySink:
+    def test_counters_and_histograms_accumulate(self) -> None:
+        registry = MetricsRegistry()
+        sink = TelemetrySink(registry=registry)
+        for index in (0, 1):
+            worker = WorkerTelemetry()
+            worker.registry.counter("requests_total").inc(3)
+            worker.registry.histogram("latency_seconds").observe(0.5)
+            sink.on_task(index, worker.capture())
+        assert registry.value("requests_total") == 6
+        family = registry.get("latency_seconds")
+        assert family.samples[()].count == 2
+
+    def test_gauges_resolve_by_task_index_not_completion_order(self) -> None:
+        registry = MetricsRegistry()
+        sink = TelemetrySink(registry=registry)
+        late = WorkerTelemetry()
+        late.registry.gauge("queue_depth").set(7.0)
+        early = WorkerTelemetry()
+        early.registry.gauge("queue_depth").set(3.0)
+        # task 1 completes before task 0: index still wins, not arrival
+        sink.on_task(1, late.capture())
+        sink.on_task(0, early.capture())
+        assert registry.value("queue_depth") == 7.0
+
+    def test_task_duration_sums_root_spans(self) -> None:
+        sink = TelemetrySink()
+        worker = WorkerTelemetry()
+        ticks = iter([0.0, 1.5])
+        worker.tracer.clock = lambda: next(ticks)
+        with worker.tracer.span("task[0]"):
+            pass
+        sink.on_task(0, worker.capture())
+        assert sink.task_duration(0) == 1.5
+        assert sink.task_duration(99) == 0.0
+
+    def test_sink_without_targets_just_records_payloads(self) -> None:
+        sink = TelemetrySink()
+        worker = WorkerTelemetry()
+        worker.registry.counter("requests_total").inc()
+        sink.on_task(0, worker.capture())
+        assert 0 in sink.tasks

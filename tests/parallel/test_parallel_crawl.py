@@ -67,6 +67,14 @@ class _ShardedSerial:
         self._die_after = die_after_shards
         self._inner = SerialExecutor()
 
+    @property
+    def telemetry_sink(self):
+        return self._inner.telemetry_sink
+
+    @telemetry_sink.setter
+    def telemetry_sink(self, sink) -> None:
+        self._inner.telemetry_sink = sink
+
     def run(
         self, fn: Callable[[Any, Any], Any], shared: Any, items: Sequence[Any]
     ) -> list[Any]:

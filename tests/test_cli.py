@@ -168,3 +168,142 @@ class TestSweep:
         output = capsys.readouterr().out
         assert "robustness over seeds [1, 2]" in output
         assert "income_ratio" in output
+
+
+class TestRunLedger:
+    def _crawl(self, ledger: str, *extra: str) -> int:
+        return main(
+            ["crawl", "--domains", "120", "--seed", "3", "--ledger-dir", ledger]
+            + list(extra)
+        )
+
+    def test_run_appends_a_ledger_record(self, tmp_path, capsys) -> None:
+        ledger = tmp_path / "ledger"
+        assert self._crawl(str(ledger)) == 0
+        capsys.readouterr()
+        entries = list(ledger.glob("run-*.json"))
+        assert len(entries) == 1
+        record = json.loads(entries[0].read_text())
+        assert record["command"] == "crawl"
+        assert record["argv"][0] == "crawl"
+        assert record["dataset_fingerprint"]
+        assert record["workers"] == 1
+        assert record["span_summary"]["crawl"]["count"] == 1
+        assert {slo["name"] for slo in record["slos"]} == {
+            "crawl_wall_clock",
+            "crawl_shard_p99",
+        }
+
+    def test_no_ledger_flag_skips_the_append(self, tmp_path, capsys) -> None:
+        ledger = tmp_path / "ledger"
+        assert self._crawl(str(ledger), "--no-ledger") == 0
+        capsys.readouterr()
+        assert not ledger.exists()
+
+    def test_explicit_slo_config_is_used(self, tmp_path, capsys) -> None:
+        ledger = tmp_path / "ledger"
+        config = tmp_path / "slo.json"
+        config.write_text(json.dumps({
+            "version": 1,
+            "slos": [{
+                "name": "impossible",
+                "metric": "span:crawl",
+                "threshold": 0.0,
+            }],
+        }))
+        assert self._crawl(str(ledger), "--slo", str(config)) == 0
+        capsys.readouterr()
+        record = json.loads(next(ledger.glob("run-*.json")).read_text())
+        assert [slo["name"] for slo in record["slos"]] == ["impossible"]
+        assert record["slos"][0]["status"] == "fail"
+
+
+class TestObsSubcommand:
+    @pytest.fixture()
+    def two_runs(self, tmp_path):
+        """A ledger with a passing run then an SLO-failing run."""
+        ledger = tmp_path / "ledger"
+        config = tmp_path / "tight.json"
+        config.write_text(json.dumps({
+            "version": 1,
+            "slos": [{
+                "name": "crawl_wall_clock",
+                "metric": "span:crawl",
+                "threshold": 600.0,
+            }, {
+                "name": "crawl_shard_p99",
+                "metric": "span_duration_seconds",
+                "labels": {"span": "shard.transactions"},
+                "objective": "p99",
+                "threshold": 120.0,
+            }],
+        }))
+        assert main([
+            "crawl", "--domains", "120", "--seed", "3",
+            "--ledger-dir", str(ledger), "--slo", str(config),
+        ]) == 0
+        # second run: same crawl, but the shard objective is impossible
+        config.write_text(json.dumps({
+            "version": 1,
+            "slos": [{
+                "name": "crawl_wall_clock",
+                "metric": "span:crawl",
+                "threshold": 600.0,
+            }, {
+                "name": "crawl_shard_p99",
+                "metric": "span_duration_seconds",
+                "labels": {"span": "shard.transactions"},
+                "objective": "p99",
+                "threshold": 0.0,
+            }],
+        }))
+        assert main([
+            "crawl", "--domains", "120", "--seed", "3", "--workers", "2",
+            "--ledger-dir", str(ledger), "--slo", str(config),
+        ]) == 0
+        return ledger
+
+    def test_ls_lists_runs(self, two_runs, capsys) -> None:
+        capsys.readouterr()
+        assert main(["obs", "ls", "--ledger-dir", str(two_runs)]) == 0
+        output = capsys.readouterr().out
+        assert "run_id" in output
+        assert output.count("crawl") >= 2
+        assert "FAIL(crawl_shard_p99)" in output
+
+    def test_show_renders_trace_and_slos(self, two_runs, capsys) -> None:
+        capsys.readouterr()
+        assert main(["obs", "show", "latest", "--ledger-dir", str(two_runs)]) == 0
+        output = capsys.readouterr().out
+        assert "--- slos ---" in output
+        assert "--- metrics ---" in output
+        assert "--- trace ---" in output
+        assert "crawl.3_transactions" in output
+        assert "task[" in output  # worker spans in the stored tree
+
+    def test_diff_exits_nonzero_on_slo_regression(
+        self, two_runs, capsys
+    ) -> None:
+        capsys.readouterr()
+        code = main(["obs", "diff", "1", "2", "--ledger-dir", str(two_runs)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "<< REGRESSION" in captured.out
+        assert "crawl_shard_p99" in captured.err
+
+    def test_diff_without_regression_exits_zero(
+        self, two_runs, capsys
+    ) -> None:
+        capsys.readouterr()
+        assert main(["obs", "diff", "2", "1", "--ledger-dir", str(two_runs)]) == 0
+
+    def test_unknown_run_reference_exits_two(self, two_runs, capsys) -> None:
+        capsys.readouterr()
+        code = main(["obs", "show", "zzzzzz", "--ledger-dir", str(two_runs)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "obs:" in captured.err
+
+    def test_empty_ledger_ls_is_friendly(self, tmp_path, capsys) -> None:
+        assert main(["obs", "ls", "--ledger-dir", str(tmp_path / "void")]) == 0
+        assert "no ledger entries" in capsys.readouterr().out

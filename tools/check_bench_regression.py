@@ -5,6 +5,9 @@ Usage::
     python tools/check_bench_regression.py BASELINE.json CURRENT.json \
         [--threshold 2.0] [--allow-missing]
 
+    python tools/check_bench_regression.py --ledger .repro/ledger \
+        [--command crawl] [--threshold 2.0] [--history 10]
+
 Benchmarks are matched by their pytest ``fullname``. A benchmark
 regresses when its current mean exceeds ``threshold`` times the
 baseline mean; any regression makes the script exit ``1`` with a
@@ -18,6 +21,14 @@ when the omission is intentional (e.g. a CI job that runs a subset of
 scales) — missing benches are then reported but don't fail.
 *New* benchmarks with no baseline never fail; they are reported so the
 baseline can be refreshed.
+
+``--ledger`` switches the data source from pytest-benchmark JSON to the
+run ledger (:mod:`repro.obs.runledger`): the newest run's per-span
+duration totals are compared against the mean of the preceding runs of
+the same command. Same matching, threshold, and exit-code semantics —
+span names play the role of benchmark fullnames. This turns every
+ordinary CLI invocation into a regression datapoint without a separate
+benchmarking pass.
 
 The threshold is deliberately loose (2x by default): this is a smoke
 check against order-of-magnitude regressions — e.g. an analysis
@@ -34,6 +45,9 @@ import sys
 #: Exit code when a baseline benchmark is missing from the current report.
 EXIT_MISSING_BASELINE_BENCH = 3
 
+#: Exit code when the ledger lacks enough history to compare anything.
+EXIT_NO_HISTORY = 2
+
 
 def load_means(path: str) -> dict[str, float]:
     """Map benchmark fullname -> mean seconds from a pytest-benchmark JSON."""
@@ -43,6 +57,45 @@ def load_means(path: str) -> dict[str, float]:
         bench["fullname"]: bench["stats"]["mean"]
         for bench in payload.get("benchmarks", [])
     }
+
+
+def ledger_means(
+    directory: str, command: str | None, history: int
+) -> tuple[dict[str, float], dict[str, float]] | None:
+    """(baseline, current) span-duration tables from the run ledger.
+
+    ``current`` is the newest matching run's per-span ``total_seconds``;
+    ``baseline`` is the mean of the up-to-``history`` runs before it.
+    Returns None when fewer than two matching runs exist.
+    """
+    from repro.obs.runledger import RunLedger
+
+    records = [
+        record
+        for record in RunLedger(directory).records()
+        if command is None or record.command == command
+    ]
+    if len(records) < 2:
+        return None
+    current_record = records[-1]
+    prior = records[-(history + 1):-1]
+    totals: dict[str, list[float]] = {}
+    for record in prior:
+        for name, stats in record.span_summary.items():
+            totals.setdefault(name, []).append(stats["total_seconds"])
+    baseline = {
+        name: sum(values) / len(values) for name, values in totals.items()
+    }
+    current = {
+        name: stats["total_seconds"]
+        for name, stats in current_record.span_summary.items()
+    }
+    label = f"run {current_record.run_id} (seq {current_record.seq})"
+    print(
+        f"ledger mode: {label} vs mean of {len(prior)} prior"
+        f" {current_record.command!r} run(s)"
+    )
+    return baseline, current
 
 
 def compare(
@@ -74,8 +127,31 @@ def compare(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "baseline", nargs="?", default=None, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="freshly produced benchmark JSON",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=None,
+        help="compare the newest run-ledger entry against the mean of its"
+        " predecessors instead of two benchmark files",
+    )
+    parser.add_argument(
+        "--command",
+        default=None,
+        help="with --ledger: only consider runs of this CLI command",
+    )
+    parser.add_argument(
+        "--history",
+        type=int,
+        default=10,
+        help="with --ledger: baseline over at most N prior runs (default 10)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -90,9 +166,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    regressions, missing = compare(
-        load_means(args.baseline), load_means(args.current), args.threshold
-    )
+    if args.ledger is not None:
+        tables = ledger_means(args.ledger, args.command, args.history)
+        if tables is None:
+            print(
+                "ledger has fewer than two matching runs; nothing to compare"
+            )
+            return EXIT_NO_HISTORY
+        baseline, current = tables
+    elif args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required without --ledger")
+        return 2  # unreachable; parser.error exits
+    else:
+        baseline = load_means(args.baseline)
+        current = load_means(args.current)
+
+    regressions, missing = compare(baseline, current, args.threshold)
     if regressions:
         print(
             f"\n{len(regressions)} benchmark(s) slower than"
