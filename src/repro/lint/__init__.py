@@ -47,3 +47,6 @@ __all__ = [
     "render_text",
     "summary_line",
 ]
+
+# The whole-program engine lives in repro.lint.flow (imported lazily by
+# the CLI so `repro lint` start-up stays free of the obs dependency).

@@ -1,20 +1,36 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro lint``.
 
 Exit codes follow the classic lint contract: 0 when no error-severity
-finding survives suppression, 1 otherwise, 2 for usage errors (from
-argparse). Findings print to stdout — for this tool the report *is*
-the product, same as ``repro analyze`` — pre-sorted by (path, line,
-column, rule) so CI logs are byte-stable.
+finding survives suppression (and, in ``--flow`` mode, the baseline),
+1 otherwise, 2 for usage errors (from argparse). Findings print to
+stdout — for this tool the report *is* the product, same as ``repro
+analyze`` — pre-sorted by (path, line, column, rule) so CI logs are
+byte-stable.
+
+Two modes share one option surface:
+
+* **per-file** (default) — the registered checkers of
+  :mod:`repro.lint.checkers` plus runner rules (``parse-error``,
+  ``lint-stale-ignore``);
+* **whole-program** (``--flow``) — the interprocedural passes of
+  :mod:`repro.lint.flow` (``flow-det-taint``, ``flow-exc-escape``,
+  ``flow-dead-api``) over the incremental fact cache, with the
+  committed baseline subtracted before the exit code.
+
+Either mode renders as text, JSON, or SARIF 2.1.0 (``--format sarif``
+to stdout, ``--sarif PATH`` as a side artifact for CI upload).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+from pathlib import Path
 from typing import Sequence
 
 from .registry import all_rules
 from .reporters import render_json, render_text
-from .runner import lint_paths
+from .runner import RUNNER_RULES, LintResult, lint_paths
 
 __all__ = ["add_lint_arguments", "build_parser", "main", "run"]
 
@@ -30,7 +46,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -39,12 +55,53 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="ID[,ID...]",
         help="comma-separated rule ids or checker names to run"
-        " (default: every registered rule)",
+        " (default: every registered rule; per-file mode only)",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="whole-program analysis: determinism taint, exception"
+        " escape, dead public API (see docs/LINTING.md)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write the report as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="flow-finding baseline to subtract"
+        " (default: tools/lint_baseline.json when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every flow finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current flow finding",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="fact-cache directory for --flow"
+        " (default: .repro/lintcache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the fact cache (every module re-parses)",
     )
 
 
@@ -53,20 +110,82 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="static analysis for the repro tree: determinism,"
-        " layering, obs hygiene, mutable defaults, public-API coverage",
+        " layering, obs hygiene, mutable defaults, public-API coverage,"
+        " and whole-program flow passes (--flow)",
     )
     add_lint_arguments(parser)
     return parser
 
 
 def _rule_catalogue() -> str:
-    """The rule table shown by ``--list-rules``."""
-    lines = []
-    for checker_name, rule in all_rules():
-        lines.append(
-            f"{rule.id:24s} {rule.severity!s:8s} [{checker_name}] {rule.summary}"
-        )
+    """The rule table shown by ``--list-rules`` (checkers + runner + flow)."""
+    from .flow import FLOW_RULES
+
+    rows = [
+        (rule.id, str(rule.severity), checker_name, rule.summary)
+        for checker_name, rule in all_rules()
+    ]
+    rows.extend(
+        (rule.id, str(rule.severity), "(runner)", rule.summary)
+        for rule in RUNNER_RULES
+    )
+    rows.extend(
+        (rule.id, str(rule.severity), "(flow)", rule.summary)
+        for rule in FLOW_RULES
+    )
+    lines = [
+        f"{rule_id:24s} {severity:8s} [{owner}] {summary}"
+        for rule_id, severity, owner, summary in sorted(rows)
+    ]
     return "\n".join(lines) + "\n"
+
+
+def _render(args: argparse.Namespace, result: LintResult) -> str:
+    """The report in the requested ``--format``."""
+    if args.format == "json":
+        return render_json(result)
+    if args.format == "sarif":
+        return _sarif_text(result)
+    return render_text(result)
+
+
+def _sarif_text(result: LintResult) -> str:
+    from .flow import FLOW_RULES
+    from .flow.sarif import render_sarif
+
+    catalogue = [rule for _, rule in all_rules()]
+    catalogue.extend(RUNNER_RULES)
+    catalogue.extend(FLOW_RULES)
+    return render_sarif(result, rules=catalogue)
+
+
+def _run_flow(args: argparse.Namespace) -> LintResult:
+    """Execute the whole-program mode: analyze, baseline, maybe rewrite."""
+    from .flow import (
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_CACHE_DIR,
+        Baseline,
+        analyze_paths,
+        apply_baseline,
+    )
+
+    analysis = analyze_paths(
+        args.paths,
+        cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        use_cache=not args.no_cache,
+    )
+    result = analysis.result
+    baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            f"baseline written to {baseline_path}"
+            f" ({len(result.findings)} finding(s))",
+            file=sys.stderr,
+        )
+    if not args.no_baseline:
+        result = apply_baseline(result, Baseline.load(baseline_path))
+    return result
 
 
 def run(args: argparse.Namespace) -> int:
@@ -74,19 +193,29 @@ def run(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(_rule_catalogue(), end="")
         return 0
-    rules = None
-    if args.rules:
-        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
-    try:
-        result = lint_paths(args.paths, rules=rules)
-    except ValueError as exc:  # unknown rule id
-        print(f"repro.lint: {exc}")
-        return 2
-    render = render_json if args.format == "json" else render_text
-    print(render(result), end="")
+    if args.flow:
+        if args.rules:
+            print("repro.lint: --rules cannot narrow a --flow run")
+            return 2
+        result = _run_flow(args)
+    else:
+        rules = None
+        if args.rules:
+            rules = [
+                token.strip() for token in args.rules.split(",") if token.strip()
+            ]
+        try:
+            result = lint_paths(args.paths, rules=rules)
+        except ValueError as exc:  # unknown rule id
+            print(f"repro.lint: {exc}")
+            return 2
+    if args.sarif:
+        Path(args.sarif).write_text(_sarif_text(result), encoding="utf-8")
+        print(f"sarif report written to {args.sarif}", file=sys.stderr)
+    print(_render(args, result), end="")
     return result.exit_code
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """``python -m repro.lint [--format text|json] [--rules ...] [PATHS]``."""
+    """``python -m repro.lint [--flow] [--format text|json|sarif] [PATHS]``."""
     return run(build_parser().parse_args(argv))

@@ -1,0 +1,152 @@
+"""Whole-program flow analysis: ``repro lint --flow``.
+
+Where the per-file checkers see one AST at a time, this subpackage
+parses the tree *once* into a module/import graph and a name-resolved
+call graph (:mod:`~repro.lint.flow.graph`), then runs three
+interprocedural passes over it:
+
+* ``flow-det-taint`` (:mod:`~repro.lint.flow.taint`) — nondeterminism
+  sources laundered through helpers must not reach report/ledger/
+  golden-output sinks,
+* ``flow-exc-escape`` (:mod:`~repro.lint.flow.exceptions`) — transient
+  endpoint failures must not escape crawler calls that bypass the
+  :mod:`repro.faults` retry layer,
+* ``flow-dead-api`` (:mod:`~repro.lint.flow.deadcode`) — exported
+  names never referenced outside their defining module.
+
+Per-module facts are content-addressed and cached
+(:mod:`~repro.lint.flow.cache`), so warm runs re-parse only modified
+modules; committed, justified findings live in a baseline
+(:mod:`~repro.lint.flow.baseline`) subtracted before the exit code;
+and results render as text, JSON, or deterministic SARIF 2.1.0
+(:mod:`~repro.lint.flow.sarif`). See ``docs/LINTING.md`` ("Whole-
+program analysis") for the workflow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from ...obs.metrics import MetricsRegistry
+from ..findings import Finding, Rule, Severity
+from ..runner import LintResult, discover_files
+from ..source import module_name_for
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    apply_baseline,
+)
+from .cache import DEFAULT_CACHE_DIR, FactCache
+from .deadcode import RULE_DEAD_API, run_deadcode_pass
+from .exceptions import RULE_EXC_ESCAPE, run_exception_pass
+from .graph import ModuleFacts, ProgramGraph, extract_facts
+from .sarif import render_sarif
+from .taint import RULE_DET_TAINT, run_taint_pass
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CACHE_DIR",
+    "FLOW_RULES",
+    "FactCache",
+    "FlowAnalysis",
+    "ProgramGraph",
+    "analyze_paths",
+    "apply_baseline",
+    "render_sarif",
+]
+
+#: The catalogue of rules the flow engine can emit.
+FLOW_RULES: tuple[Rule, ...] = (RULE_DET_TAINT, RULE_EXC_ESCAPE, RULE_DEAD_API)
+
+
+class FlowAnalysis:
+    """Result bundle of one whole-program run: findings + the graph."""
+
+    def __init__(
+        self, result: LintResult, graph: ProgramGraph, cache: FactCache
+    ) -> None:
+        self.result = result
+        self.graph = graph
+        self.cache = cache
+
+
+def _load_facts(path: Path, cache: FactCache) -> ModuleFacts:
+    """Facts for one file: cache hit, or parse + extract + store.
+
+    Unreadable or undecodable files yield facts whose ``parse_error``
+    is set, which the engine reports as a structured ``parse-error``
+    finding — never a traceback.
+    """
+    display = str(path)
+    try:
+        content = path.read_bytes()
+    except OSError as exc:
+        facts = ModuleFacts(
+            schema=-1, path=display, module=module_name_for(path), sha256=""
+        )
+        facts.parse_error = {
+            "line": 1, "column": 0, "message": f"cannot read: {exc}"
+        }
+        return facts
+    cached = cache.load(display, content)
+    if cached is not None:
+        return cached
+    try:
+        text = content.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        facts = ModuleFacts(
+            schema=-1, path=display, module=module_name_for(path), sha256=""
+        )
+        facts.parse_error = {
+            "line": 1,
+            "column": 0,
+            "message": f"cannot decode as UTF-8 (byte offset {exc.start})",
+        }
+        return facts
+    facts = extract_facts(display, module_name_for(path), text, sha256="")
+    cache.store(facts, content)
+    return facts
+
+
+def flow_sources(
+    facts_list: list[ModuleFacts],
+) -> tuple[LintResult, ProgramGraph]:
+    """Run the three passes over already-extracted module facts."""
+    result = LintResult(files_checked=len(facts_list))
+    for facts in facts_list:
+        if facts.parse_error is not None:
+            result.findings.append(
+                Finding(
+                    path=facts.path,
+                    line=facts.parse_error["line"],
+                    column=facts.parse_error["column"],
+                    rule="parse-error",
+                    message=f"cannot parse: {facts.parse_error['message']}",
+                    severity=Severity.ERROR,
+                )
+            )
+    graph = ProgramGraph(facts_list)
+    result.findings.extend(run_taint_pass(graph))
+    result.findings.extend(run_exception_pass(graph))
+    result.findings.extend(run_deadcode_pass(graph))
+    result.findings.sort(key=lambda finding: finding.sort_key)
+    return result, graph
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    registry: MetricsRegistry | None = None,
+) -> FlowAnalysis:
+    """Whole-program analysis over ``*.py`` files beneath ``paths``."""
+    cache = FactCache(cache_dir, registry=registry, enabled=use_cache)
+    facts_list = [
+        _load_facts(path, cache) for path in discover_files(paths)
+    ]
+    result, graph = flow_sources(facts_list)
+    cache.sweep()
+    return FlowAnalysis(result, graph, cache)

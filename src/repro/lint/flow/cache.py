@@ -1,0 +1,135 @@
+"""Incremental fact cache: re-analyze only what changed.
+
+Per-module :class:`~repro.lint.flow.graph.ModuleFacts` are a pure
+function of a file's bytes, so they are content-addressed: the cache
+key is ``SHA-256(schema : display-path : file-bytes)`` and the value
+is the facts record as JSON under ``.repro/lintcache/``. A warm
+``repro lint --flow`` run therefore parses *only* modified modules —
+the rest load as JSON, which is an order of magnitude cheaper than
+``ast.parse`` plus extraction — while producing byte-identical output
+(the determinism suite pins this).
+
+Invalidation is automatic and total: any content change, path move, or
+:data:`~repro.lint.flow.graph.FACTS_SCHEMA` bump changes the key, so a
+stale entry can never be *loaded* (it is merely orphaned). Orphans are
+swept opportunistically: after a run, entries not touched by it are
+deleted, keeping the directory proportional to the tree.
+
+Hit/miss traffic is exported through :mod:`repro.obs` counters
+(``lint_flow_cache_hits_total`` / ``lint_flow_cache_misses_total``) so
+tests and the CI gate can assert "warm run, zero misses" instead of
+guessing from wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ...obs.metrics import MetricsRegistry, global_registry
+from .graph import FACTS_SCHEMA, ModuleFacts
+
+__all__ = ["DEFAULT_CACHE_DIR", "FactCache", "content_key"]
+
+#: Where warm-run facts live, next to the run ledger.
+DEFAULT_CACHE_DIR = ".repro/lintcache"
+
+
+def content_key(display_path: str, content: bytes) -> str:
+    """Content-addressed cache key for one file."""
+    digest = hashlib.sha256()
+    digest.update(f"{FACTS_SCHEMA}:{display_path}:".encode("utf-8"))
+    digest.update(content)
+    return digest.hexdigest()
+
+
+class FactCache:
+    """JSON-file-per-module fact store with hit/miss metering."""
+
+    def __init__(
+        self,
+        directory: str | Path = DEFAULT_CACHE_DIR,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+    ) -> None:
+        """``enabled=False`` turns every lookup into a metered miss."""
+        self.directory = Path(directory)
+        self.enabled = enabled
+        self._touched: set[str] = set()
+        registry = registry if registry is not None else global_registry()
+        self._hits = registry.counter(
+            "lint_flow_cache_hits_total",
+            "Flow-analysis modules loaded from the fact cache",
+        )
+        self._misses = registry.counter(
+            "lint_flow_cache_misses_total",
+            "Flow-analysis modules re-parsed because no cached facts matched",
+        )
+
+    @property
+    def hits(self) -> int:
+        """Cache hits recorded by this process so far."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Cache misses recorded by this process so far."""
+        return int(self._misses.value)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, display_path: str, content: bytes) -> ModuleFacts | None:
+        """Cached facts for this exact content, or None (metered)."""
+        key = content_key(display_path, content)
+        self._touched.add(key)
+        if not self.enabled:
+            self._misses.inc()
+            return None
+        entry = self._entry_path(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            facts = ModuleFacts.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self._misses.inc()
+            return None
+        if facts.schema != FACTS_SCHEMA:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        return facts
+
+    def store(self, facts: ModuleFacts, content: bytes) -> None:
+        """Persist freshly-extracted facts (atomic rename, best-effort)."""
+        if not self.enabled:
+            return
+        key = content_key(facts.path, content)
+        self._touched.add(key)
+        entry = self._entry_path(key)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(facts.as_dict(), sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, entry)
+        except OSError:
+            # a read-only cache directory must never fail the lint run
+            pass
+
+    def sweep(self) -> int:
+        """Delete entries this run never touched; returns how many."""
+        if not self.enabled or not self.directory.is_dir():
+            return 0
+        removed = 0
+        for entry in sorted(self.directory.glob("*.json")):
+            if entry.stem in self._touched:
+                continue
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass  # concurrent sweep; the orphan survives until next run
+        return removed

@@ -19,11 +19,14 @@ __all__ = ["render_json", "render_text", "summary_line"]
 
 def summary_line(result: LintResult) -> str:
     """One-line roll-up: files, findings by severity, suppressions."""
-    return (
+    line = (
         f"{result.files_checked} file(s) checked:"
         f" {result.errors} error(s), {result.warnings} warning(s),"
         f" {result.suppressed} suppressed"
     )
+    if result.baselined:
+        line += f", {result.baselined} baselined"
+    return line
 
 
 def render_text(result: LintResult) -> str:
@@ -43,6 +46,7 @@ def render_json(result: LintResult) -> str:
             "errors": result.errors,
             "warnings": result.warnings,
             "suppressed": result.suppressed,
+            "baselined": result.baselined,
         },
     }
     return json.dumps(document, indent=2, allow_nan=False) + "\n"

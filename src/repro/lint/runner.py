@@ -17,13 +17,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from .findings import Finding, Severity
-from .registry import all_checkers, resolve_rules
-from .source import SourceFile
+from .findings import Finding, Rule, Severity
+from .registry import all_checkers, all_rules, resolve_rules
+from .source import ALL_RULES, SourceFile
 
-__all__ = ["LintResult", "lint_paths", "lint_sources"]
+__all__ = ["LintResult", "RUNNER_RULES", "lint_paths", "lint_sources"]
+
+#: Rules the runner itself emits (no checker owns them).
+RUNNER_RULES: tuple[Rule, ...] = (
+    Rule("parse-error", "the file must parse and decode as UTF-8"),
+    Rule(
+        "lint-stale-ignore",
+        "a '# lint: ignore' comment no longer suppresses anything",
+    ),
+)
 
 
 @dataclass
@@ -33,6 +42,7 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    baselined: int = 0
 
     @property
     def errors(self) -> int:
@@ -107,13 +117,57 @@ def lint_sources(
         for finding in checker.finish():
             raw.append((checked.get(finding.path), finding))
 
+    fired: set[tuple[str, int]] = set()
     for source, finding in raw:
         if source is not None and source.is_suppressed(finding.line, finding.rule):
             result.suppressed += 1
+            fired.add((source.path, finding.line))
         else:
             result.findings.append(finding)
+    if selection is None:
+        result.findings.extend(_stale_suppressions(checked.values(), fired))
     result.findings.sort(key=lambda finding: finding.sort_key)
     return result
+
+
+def _stale_suppressions(
+    sources: Iterable[SourceFile], fired: set[tuple[str, int]]
+) -> Iterator[Finding]:
+    """``lint-stale-ignore``: suppression comments that silenced nothing.
+
+    Only runs when the full checker set did (a narrowed ``--rules`` run
+    cannot prove a suppression dead), skips files that failed to parse
+    (their finding set is unknowable), and skips suppressions naming
+    rules outside the per-file catalogue — a ``# lint:
+    ignore[flow-det-taint]`` is the flow engine's to judge, not ours.
+    These findings are emitted *after* suppression handling, so a stale
+    ignore cannot suppress its own staleness report.
+    """
+    per_file_rules = {rule.id for _, rule in all_rules()} | {
+        rule.id for rule in RUNNER_RULES
+    }
+    for source in sources:
+        if source.parse_error is not None:
+            continue
+        for line in sorted(source.suppressions):
+            rules = source.suppressions[line]
+            if (source.path, line) in fired:
+                continue
+            named = sorted(rules - {ALL_RULES})
+            if named and not set(named) <= per_file_rules:
+                continue
+            label = f"[{', '.join(named)}]" if named else ""
+            yield Finding(
+                path=source.path,
+                line=line,
+                column=0,
+                rule="lint-stale-ignore",
+                message=(
+                    f"'# lint: ignore{label}' suppresses nothing on this"
+                    " line; remove the stale comment"
+                ),
+                severity=Severity.ERROR,
+            )
 
 
 def lint_paths(

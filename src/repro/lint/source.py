@@ -92,11 +92,28 @@ class SourceFile:
 
     @classmethod
     def from_path(cls, path: Path, display: str | None = None) -> "SourceFile":
-        """Read and parse ``path``; ``display`` overrides the report path."""
-        text = path.read_text(encoding="utf-8")
-        return cls.from_text(
-            text, path=display or str(path), module=module_name_for(path)
-        )
+        """Read and parse ``path``; ``display`` overrides the report path.
+
+        An unreadable or non-UTF-8 file never raises: it yields a
+        source whose ``parse_error`` is set, which the runner reports
+        as a structured ``parse-error`` finding (path + location) while
+        still exiting nonzero — a corrupt file must fail the gate, not
+        crash it.
+        """
+        name = display or str(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as exc:
+            broken = cls(path=name, text="", module=module_name_for(path))
+            broken.parse_error = SyntaxError(
+                f"cannot decode as UTF-8 (byte offset {exc.start})"
+            )
+            return broken
+        except OSError as exc:
+            broken = cls(path=name, text="", module=module_name_for(path))
+            broken.parse_error = SyntaxError(f"cannot read: {exc}")
+            return broken
+        return cls.from_text(text, path=name, module=module_name_for(path))
 
     @classmethod
     def from_text(

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import hashlib
 import textwrap
 
 import pytest
 
 from repro.lint import LintResult, SourceFile, lint_sources
+from repro.lint.flow import flow_sources
+from repro.lint.flow.graph import extract_facts
 
 
 @pytest.fixture()
@@ -23,6 +26,41 @@ def lint_text():
             textwrap.dedent(text), path=path, module=module
         )
         return lint_sources([source], rules=rules)
+
+    return run
+
+
+def make_facts(module: str, text: str, path: str | None = None):
+    """Extract :class:`ModuleFacts` from a dedented source string.
+
+    ``path`` defaults to the ``src/repro`` location the dotted module
+    name implies, so inline fixtures resolve exactly like real files.
+    """
+    if path is None:
+        path = "src/" + module.replace(".", "/") + ".py"
+    clean = textwrap.dedent(text)
+    sha = hashlib.sha256(clean.encode("utf-8")).hexdigest()
+    return extract_facts(path, module, clean, sha)
+
+
+@pytest.fixture()
+def flow_run():
+    """Run the flow passes over ``{module: source}`` inline fixtures."""
+
+    def run(modules: dict[str, str]):
+        facts = [make_facts(mod, text) for mod, text in modules.items()]
+        result, _ = flow_sources(facts)
+        return result
+
+    return run
+
+
+@pytest.fixture()
+def flow_rule_ids(flow_run):
+    """Like ``flow_run`` but returns just the violated rule ids."""
+
+    def run(modules: dict[str, str]) -> list[str]:
+        return [f.rule for f in flow_run(modules).findings]
 
     return run
 

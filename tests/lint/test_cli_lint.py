@@ -111,3 +111,136 @@ class TestLintCli:
             "api-docstring",
         ):
             assert rule_id in out
+
+    def test_list_rules_includes_flow_and_runner_rules(self, capsys) -> None:
+        lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        for rule_id in (
+            "flow-det-taint",
+            "flow-exc-escape",
+            "flow-dead-api",
+            "parse-error",
+            "lint-stale-ignore",
+        ):
+            assert rule_id in out
+
+
+class TestFlowCli:
+    """The --flow mode: committed-tree gate, baseline, SARIF artifact."""
+
+    def run(self, argv: list[str]):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        return proc
+
+    def test_committed_tree_exits_zero_with_baseline(self, tmp_path) -> None:
+        proc = self.run(
+            [
+                "--flow",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "src",
+                "tools",
+                "benchmarks",
+            ]
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "baselined" in proc.stdout
+
+    def test_no_baseline_reports_the_accepted_findings(self, tmp_path) -> None:
+        proc = self.run(
+            [
+                "--flow",
+                "--no-baseline",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "src",
+            ]
+        )
+        assert proc.returncode == 1
+        assert "flow-dead-api" in proc.stdout
+
+    def test_rules_cannot_narrow_a_flow_run(self, capsys) -> None:
+        code = lint_main(["--flow", "--rules", "flow-det-taint", "src"])
+        assert code == 2
+        assert "--rules" in capsys.readouterr().out
+
+    def test_sarif_artifact_is_written_and_stdout_stays_text(
+        self, tmp_path
+    ) -> None:
+        target = tmp_path / "lint.sarif"
+        proc = self.run(
+            [
+                "--flow",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--sarif",
+                str(target),
+                "src",
+                "tools",
+                "benchmarks",
+            ]
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        document = json.loads(target.read_text(encoding="utf-8"))
+        assert document["version"] == "2.1.0"
+        assert "sarif report written" in proc.stderr
+        assert "file(s) checked" in proc.stdout
+
+    def test_sarif_stdout_is_pure_json(self, tmp_path) -> None:
+        proc = self.run(
+            [
+                "--flow",
+                "--format",
+                "sarif",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "src",
+                "tools",
+                "benchmarks",
+            ]
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(proc.stdout)
+        assert document["runs"][0]["tool"]["driver"]["name"] == "repro.lint"
+
+    def test_sarif_output_is_byte_identical_across_runs(self, tmp_path) -> None:
+        argv = [
+            "--flow",
+            "--format",
+            "sarif",
+            "--no-baseline",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "src",
+        ]
+        assert self.run(argv).stdout == self.run(argv).stdout
+
+    def test_write_baseline_round_trips_to_exit_zero(self, tmp_path) -> None:
+        bad = tmp_path / "tree" / "src" / "repro" / "core" / "report.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef build_report():\n    return time.time()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        common = [
+            "--flow",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--baseline",
+            str(baseline),
+            str(tmp_path / "tree" / "src"),
+        ]
+        first = self.run(common)
+        assert first.returncode == 1
+        written = self.run([*common, "--write-baseline"])
+        assert written.returncode == 0, written.stdout + written.stderr
+        assert "baseline written" in written.stderr
+        second = self.run(common)
+        assert second.returncode == 0
+        assert "1 baselined" in second.stdout

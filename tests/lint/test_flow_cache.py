@@ -1,0 +1,152 @@
+"""The incremental fact cache and its obs counters."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint.flow import analyze_paths
+from repro.lint.flow.cache import FactCache, content_key
+from repro.lint.flow.graph import FACTS_SCHEMA
+from repro.obs import MetricsRegistry
+
+from .conftest import make_facts
+
+CLEAN = """
+    def helper():
+        return 1
+    """
+
+
+def write_module(root: Path, name: str, text: str = CLEAN) -> Path:
+    target = root / "src" / "repro" / "core" / f"{name}.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return target
+
+
+class TestFactCache:
+    def test_miss_then_hit(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        cache = FactCache(tmp_path / "cache", registry=registry)
+        facts = make_facts("repro.core.fixture", CLEAN)
+        content = textwrap.dedent(CLEAN).encode()
+        assert cache.load(facts.path, content) is None
+        cache.store(facts, content)
+        loaded = cache.load(facts.path, content)
+        assert loaded is not None
+        assert loaded.as_dict() == facts.as_dict()
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_content_change_invalidates(self, tmp_path) -> None:
+        cache = FactCache(tmp_path / "cache", registry=MetricsRegistry())
+        facts = make_facts("repro.core.fixture", CLEAN)
+        cache.store(facts, b"original")
+        assert cache.load(facts.path, b"modified") is None
+
+    def test_path_is_part_of_the_key(self) -> None:
+        assert content_key("a.py", b"x") != content_key("b.py", b"x")
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path) -> None:
+        cache = FactCache(tmp_path / "cache", registry=MetricsRegistry())
+        facts = make_facts("repro.core.fixture", CLEAN)
+        content = textwrap.dedent(CLEAN).encode()
+        cache.store(facts, content)
+        entry = next((tmp_path / "cache").glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["schema"] = FACTS_SCHEMA + 1
+        entry.write_text(json.dumps(payload))
+        assert cache.load(facts.path, content) is None
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path) -> None:
+        cache = FactCache(tmp_path / "cache", registry=MetricsRegistry())
+        facts = make_facts("repro.core.fixture", CLEAN)
+        content = textwrap.dedent(CLEAN).encode()
+        cache.store(facts, content)
+        entry = next((tmp_path / "cache").glob("*.json"))
+        entry.write_text("{not json")
+        assert cache.load(facts.path, content) is None
+
+    def test_disabled_cache_meters_misses(self, tmp_path) -> None:
+        cache = FactCache(
+            tmp_path / "cache", registry=MetricsRegistry(), enabled=False
+        )
+        facts = make_facts("repro.core.fixture", CLEAN)
+        content = textwrap.dedent(CLEAN).encode()
+        cache.store(facts, content)
+        assert cache.load(facts.path, content) is None
+        assert cache.misses == 1
+        assert not (tmp_path / "cache").exists()
+
+    def test_sweep_deletes_untouched_entries(self, tmp_path) -> None:
+        cache = FactCache(tmp_path / "cache", registry=MetricsRegistry())
+        facts = make_facts("repro.core.fixture", CLEAN)
+        cache.store(facts, b"content")
+        orphan = tmp_path / "cache" / ("0" * 64 + ".json")
+        orphan.write_text("{}")
+        assert cache.sweep() == 1
+        assert not orphan.exists()
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 1
+
+
+class TestWarmRuns:
+    def test_warm_run_reparses_only_modified_modules(self, tmp_path) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            write_module(tmp_path, name)
+        cache_dir = tmp_path / "cache"
+
+        cold = analyze_paths(
+            [tmp_path / "src"],
+            cache_dir=cache_dir,
+            registry=MetricsRegistry(),
+        )
+        assert cold.cache.misses == 3
+        assert cold.cache.hits == 0
+
+        write_module(tmp_path, "beta", "def helper():\n    return 2\n")
+        warm = analyze_paths(
+            [tmp_path / "src"],
+            cache_dir=cache_dir,
+            registry=MetricsRegistry(),
+        )
+        assert warm.cache.misses == 1  # only the modified module
+        assert warm.cache.hits == 2
+
+    def test_warm_findings_match_cold_findings(self, tmp_path) -> None:
+        write_module(
+            tmp_path,
+            "report",
+            """
+            import time
+
+            def build_report():
+                return {"at": time.time()}
+            """,
+        )
+        cache_dir = tmp_path / "cache"
+        kwargs = {"cache_dir": cache_dir}
+        cold = analyze_paths([tmp_path / "src"], registry=MetricsRegistry(), **kwargs)
+        warm = analyze_paths([tmp_path / "src"], registry=MetricsRegistry(), **kwargs)
+        assert warm.cache.hits == 1
+        assert [f.as_dict() for f in cold.result.findings] == [
+            f.as_dict() for f in warm.result.findings
+        ]
+        assert cold.result.findings, "fixture should produce a taint finding"
+
+    def test_global_registry_counters_by_default(self, tmp_path) -> None:
+        # analyze_paths without an explicit registry meters on the
+        # process-wide obs registry, which the CI gate reads
+        from repro.obs.metrics import global_registry
+
+        write_module(tmp_path, "alpha")
+        before_hits = global_registry().counter(
+            "lint_flow_cache_hits_total", "Flow-analysis cache hits"
+        ).value
+        analyze_paths([tmp_path / "src"], cache_dir=tmp_path / "cache")
+        analyze_paths([tmp_path / "src"], cache_dir=tmp_path / "cache")
+        after_hits = global_registry().counter(
+            "lint_flow_cache_hits_total", "Flow-analysis cache hits"
+        ).value
+        assert after_hits == before_hits + 1

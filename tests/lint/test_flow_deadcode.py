@@ -1,0 +1,168 @@
+"""Dead public API detection (flow-dead-api)."""
+
+from __future__ import annotations
+
+
+class TestDeadApiPass:
+    def test_unreferenced_export_is_flagged(self, flow_run) -> None:
+        # the ISSUE's negative fixture: an __all__ entry nobody imports
+        result = flow_run(
+            {
+                "repro.core.metrics": """
+                __all__ = ["used", "unused"]
+
+                def used():
+                    return 1
+
+                def unused():
+                    return 2
+                """,
+                "repro.core.consumer": """
+                from repro.core.metrics import used
+
+                def run():
+                    return used()
+                """,
+            }
+        )
+        [finding] = result.findings
+        assert finding.rule == "flow-dead-api"
+        assert "'unused'" in finding.message
+        assert finding.path == "src/repro/core/metrics.py"
+
+    def test_reference_through_reexport_keeps_export_alive(self) -> None:
+        from repro.lint.flow import flow_sources
+
+        from .conftest import make_facts
+
+        facts = [
+            make_facts(
+                "repro.core.metrics",
+                """
+                __all__ = ["used"]
+
+                def used():
+                    return 1
+                """,
+            ),
+            make_facts(
+                "repro.core",
+                """
+                from .metrics import used
+                __all__ = ["used"]
+                """,
+                path="src/repro/core/__init__.py",
+            ),
+            make_facts(
+                "repro.cli",
+                """
+                from repro.core import used
+
+                def run():
+                    return used()
+                """,
+            ),
+        ]
+        result, _ = flow_sources(facts)
+        assert [f.rule for f in result.findings] == []
+
+    def test_module_attribute_reference_counts(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.metrics": """
+                    __all__ = ["used"]
+
+                    def used():
+                        return 1
+                    """,
+                    "repro.core.consumer": """
+                    from repro.core import metrics
+
+                    def run():
+                        return metrics.used()
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_main_and_dunders_are_exempt(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.cli": """
+                    __all__ = ["main", "__version__"]
+
+                    __version__ = "1.0"
+
+                    def main():
+                        return 0
+                    """
+                }
+            )
+            == []
+        )
+
+    def test_self_reference_does_not_keep_alive(self, flow_rule_ids) -> None:
+        # a module using its own export still leaves the export dead
+        # from the program's point of view
+        rules = flow_rule_ids(
+            {
+                "repro.core.metrics": """
+                __all__ = ["used"]
+
+                def used():
+                    return 1
+
+                def internal():
+                    return used()
+                """
+            }
+        )
+        assert rules == ["flow-dead-api"]
+
+    def test_modules_without_dunder_all_are_skipped(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.metrics": """
+                    def maybe_dead():
+                        return 1
+                    """
+                }
+            )
+            == []
+        )
+
+    def test_suppression_on_the_export_line(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.metrics": """
+                    __all__ = [
+                        "unused",  # lint: ignore[flow-dead-api] downstream contract
+                    ]
+
+                    def unused():
+                        return 2
+                    """
+                }
+            )
+            == []
+        )
+
+    def test_scripts_outside_src_are_skipped(self, flow_run) -> None:
+        # tools/ scripts have no dotted module name; their __all__ (if
+        # any) is not program API
+        facts_result = flow_run(
+            {
+                "repro.core.metrics": """
+                __all__ = ["used"]
+
+                def used():
+                    return 1
+                """
+            }
+        )
+        assert [f.rule for f in facts_result.findings] == ["flow-dead-api"]

@@ -1,0 +1,186 @@
+"""Transient-exception escape past the retry layer (flow-exc-escape)."""
+
+from __future__ import annotations
+
+#: The endpoint facade every scenario shares: a client whose calls can
+#: raise the transient RateLimitError.
+EXPLORER_API = """
+    class ApiError(Exception):
+        pass
+
+    class RateLimitError(ApiError):
+        pass
+
+    class EtherscanAPI:
+        def txlist(self, addr):
+            raise RateLimitError("throttled")
+    """
+
+#: The ISSUE's negative fixture: the crawler calls the facade directly
+#: instead of routing the callable through RetryingCaller.call.
+DIRECT_CALL = {
+    "repro.explorer.api": EXPLORER_API,
+    "repro.crawler.pipeline": """
+        from repro.explorer.api import EtherscanAPI
+
+        class Pipeline:
+            api: EtherscanAPI
+
+            def fetch(self, addr):
+                return self.api.txlist(addr)
+        """,
+}
+
+
+class TestExceptionPass:
+    def test_unwrapped_explorer_call_is_flagged(self, flow_run) -> None:
+        result = flow_run(DIRECT_CALL)
+        [finding] = result.findings
+        assert finding.rule == "flow-exc-escape"
+        assert finding.path == "src/repro/crawler/pipeline.py"
+        assert "RateLimitError" in finding.message
+        assert "RetryingCaller.call" in finding.message
+
+    def test_guarded_call_is_silent(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": EXPLORER_API,
+                    "repro.crawler.pipeline": """
+                    from repro.explorer.api import EtherscanAPI, RateLimitError
+
+                    class Pipeline:
+                        api: EtherscanAPI
+
+                        def fetch(self, addr):
+                            try:
+                                return self.api.txlist(addr)
+                            except RateLimitError:
+                                return None
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_broad_except_guards_too(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": EXPLORER_API,
+                    "repro.crawler.pipeline": """
+                    from repro.explorer.api import EtherscanAPI
+
+                    class Pipeline:
+                        api: EtherscanAPI
+
+                        def fetch(self, addr):
+                            try:
+                                return self.api.txlist(addr)
+                            except Exception:
+                                return None
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_catching_the_base_type_suffices(self, flow_rule_ids) -> None:
+        # ApiError is RateLimitError's base: subclass reasoning must
+        # credit the guard
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": EXPLORER_API,
+                    "repro.crawler.pipeline": """
+                    from repro.explorer.api import ApiError, EtherscanAPI
+
+                    class Pipeline:
+                        api: EtherscanAPI
+
+                        def fetch(self, addr):
+                            try:
+                                return self.api.txlist(addr)
+                            except ApiError:
+                                return None
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_transient_leak_through_intermediate_helper(self, flow_run) -> None:
+        # the transient type propagates through an unguarded endpoint
+        # helper before the crawler touches it
+        result = flow_run(
+            {
+                "repro.explorer.api": EXPLORER_API,
+                "repro.explorer.paging": """
+                from .api import EtherscanAPI
+
+                def all_pages(api: EtherscanAPI, addr):
+                    return api.txlist(addr)
+                """,
+                "repro.crawler.pipeline": """
+                from repro.explorer.paging import all_pages
+                from repro.explorer.api import EtherscanAPI
+
+                def fetch(api: EtherscanAPI, addr):
+                    return all_pages(api, addr)
+                """,
+            }
+        )
+        assert [f.rule for f in result.findings] == ["flow-exc-escape"]
+        assert result.findings[0].path == "src/repro/crawler/pipeline.py"
+
+    def test_non_crawler_caller_is_out_of_scope(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": EXPLORER_API,
+                    "repro.core.analysis": """
+                    from repro.explorer.api import EtherscanAPI
+
+                    def fetch(api: EtherscanAPI, addr):
+                        return api.txlist(addr)
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_nontransient_exception_is_out_of_scope(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": """
+                    class EtherscanAPI:
+                        def txlist(self, addr):
+                            raise ValueError("bad address")
+                    """,
+                    "repro.crawler.pipeline": """
+                    from repro.explorer.api import EtherscanAPI
+
+                    def fetch(api: EtherscanAPI, addr):
+                        return api.txlist(addr)
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_suppression_on_the_call_line(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.explorer.api": EXPLORER_API,
+                    "repro.crawler.pipeline": """
+                    from repro.explorer.api import EtherscanAPI
+
+                    def fetch(api: EtherscanAPI, addr):
+                        return api.txlist(addr)  # lint: ignore[flow-exc-escape] fixture
+                    """,
+                }
+            )
+            == []
+        )

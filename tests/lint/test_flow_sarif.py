@@ -1,0 +1,90 @@
+"""The deterministic SARIF 2.1.0 reporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding, Rule, Severity
+from repro.lint.flow import FLOW_RULES
+from repro.lint.flow.sarif import SARIF_VERSION, render_sarif
+from repro.lint.runner import LintResult
+
+
+def result_with(*findings: Finding) -> LintResult:
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    return LintResult(findings=list(ordered), files_checked=2)
+
+
+def finding(path="src/repro/a.py", line=3, rule="flow-det-taint", msg="m"):
+    return Finding(
+        path=path,
+        line=line,
+        column=4,
+        rule=rule,
+        message=msg,
+        severity=Severity.ERROR,
+    )
+
+
+class TestSarif:
+    def test_document_shape(self) -> None:
+        text = render_sarif(result_with(finding()), rules=list(FLOW_RULES))
+        document = json.loads(text)
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        [run] = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        [result] = run["results"]
+        assert result["ruleId"] == "flow-det-taint"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/a.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_rule_index_resolves(self) -> None:
+        text = render_sarif(result_with(finding()), rules=list(FLOW_RULES))
+        document = json.loads(text)
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        index = run["results"][0]["ruleIndex"]
+        assert rules[index]["id"] == "flow-det-taint"
+        assert [r["id"] for r in rules] == sorted(r["id"] for r in rules)
+
+    def test_unknown_rule_gets_synthesized_descriptor(self) -> None:
+        text = render_sarif(result_with(finding(rule="ad-hoc")))
+        document = json.loads(text)
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert any(r["id"] == "ad-hoc" for r in rules)
+
+    def test_byte_identical_across_calls(self) -> None:
+        findings = [
+            finding(path="src/repro/b.py", line=9),
+            finding(path="src/repro/a.py", line=1, rule="flow-dead-api"),
+        ]
+        one = render_sarif(result_with(*findings), rules=list(FLOW_RULES))
+        two = render_sarif(
+            result_with(*reversed(findings)), rules=list(FLOW_RULES)
+        )
+        assert one == two
+
+    def test_no_nondeterministic_fields(self) -> None:
+        text = render_sarif(result_with(finding()), rules=list(FLOW_RULES))
+        lowered = text.lower()
+        for banned in ("timestamp", "starttimeutc", "guid", "\"uri\": \"/"):
+            assert banned not in lowered
+
+    def test_empty_result_is_valid(self) -> None:
+        document = json.loads(render_sarif(LintResult(), rules=list(FLOW_RULES)))
+        assert document["runs"][0]["results"] == []
+
+    def test_warning_severity_maps_to_warning_level(self) -> None:
+        warn = Finding(
+            path="src/repro/a.py",
+            line=1,
+            column=0,
+            rule="soft-rule",
+            message="m",
+            severity=Severity.WARNING,
+        )
+        document = json.loads(render_sarif(result_with(warn)))
+        assert document["runs"][0]["results"][0]["level"] == "warning"

@@ -1,0 +1,160 @@
+"""Interprocedural determinism taint (flow-det-taint)."""
+
+from __future__ import annotations
+
+#: The ISSUE's negative fixture: a helper two modules away reads the
+#: wall clock and a report builder consumes its return value.
+LAUNDERED_CLOCK = {
+    "repro.core.util": """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    "repro.core.middle": """
+        from repro.core.util import stamp
+
+        def annotate(rows):
+            return [(row, stamp()) for row in rows]
+        """,
+    "repro.core.report": """
+        from repro.core.middle import annotate
+
+        def build_report(rows):
+            return {"rows": annotate(rows)}
+        """,
+}
+
+
+class TestTaintPass:
+    def test_cross_module_wall_clock_reaches_report_sink(self, flow_run) -> None:
+        result = flow_run(LAUNDERED_CLOCK)
+        [finding] = result.findings
+        assert finding.rule == "flow-det-taint"
+        assert finding.path == "src/repro/core/report.py"
+        assert "wall-clock (time.time())" in finding.message
+        # the witness chain names every hop
+        assert "core.report.build_report" in finding.message
+        assert "core.middle.annotate" in finding.message
+        assert "core.util.stamp" in finding.message
+
+    def test_message_has_no_line_numbers(self, flow_run) -> None:
+        # baseline matching is (path, rule, message); embedded line
+        # numbers would invalidate entries on unrelated edits
+        [finding] = flow_run(LAUNDERED_CLOCK).findings
+        assert not any(ch.isdigit() for ch in finding.message)
+
+    def test_tainted_helper_without_sink_is_silent(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.util": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+
+                    def consumer():
+                        return stamp()
+                    """
+                }
+            )
+            == []
+        )
+
+    def test_global_rng_taints_sink(self, flow_rule_ids) -> None:
+        rules = flow_rule_ids(
+            {
+                "repro.core.report": """
+                import random
+
+                def jitter():
+                    return random.random()
+
+                def build_report():
+                    return {"j": jitter()}
+                """
+            }
+        )
+        assert "flow-det-taint" in rules
+
+    def test_set_order_iteration_taints_sink(self, flow_rule_ids) -> None:
+        rules = flow_rule_ids(
+            {
+                "repro.core.report": """
+                def order(items):
+                    return list(set(items))
+
+                def build_report(items):
+                    return order(items)
+                """
+            }
+        )
+        assert "flow-det-taint" in rules
+
+    def test_obs_module_is_exempt_source(self, flow_rule_ids) -> None:
+        # repro.obs is the sanctioned clock consumer: wall_now() must
+        # not taint callers
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.obs.runledger": """
+                    import time
+
+                    def wall_now():
+                        return time.time()
+                    """,
+                    "repro.core.report": """
+                    from repro.obs.runledger import wall_now
+
+                    def build_report():
+                        return {"at": wall_now()}
+                    """,
+                }
+            )
+            == []
+        )
+
+    def test_direct_clock_in_sink_is_flagged(self, flow_rule_ids) -> None:
+        rules = flow_rule_ids(
+            {
+                "repro.core.report": """
+                import time
+
+                def build_report():
+                    return {"at": time.time()}
+                """
+            }
+        )
+        assert rules == ["flow-det-taint"]
+
+    def test_source_suppression_silences_the_chain(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.report": """
+                    import time
+
+                    def stamp():
+                        return time.time()  # lint: ignore[flow-det-taint] fixture clock
+
+                    def build_report():
+                        return {"at": stamp()}
+                    """
+                }
+            )
+            == []
+        )
+
+    def test_clean_program_is_silent(self, flow_rule_ids) -> None:
+        assert (
+            flow_rule_ids(
+                {
+                    "repro.core.report": """
+                    def build_report(rows):
+                        return {"rows": sorted(rows)}
+                    """
+                }
+            )
+            == []
+        )

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI gate for the whole-program lint: fail on findings not in the baseline.
+
+Runs the ``--flow`` passes of ``repro.lint`` over the library tree,
+subtracts ``tools/lint_baseline.json``, and enforces three contracts:
+
+* every *new* finding (absent from the baseline) fails the build —
+  the offending lines print in the usual ``path:line: message [rule]``
+  form so the log reads like any lint failure;
+* every *stale* baseline entry (no current finding matches it) is
+  reported so the entry gets pruned — stale entries warn but do not
+  fail, because a fix landing should not break CI;
+* with ``--check-warm-speedup``, the fact cache must actually work: a
+  cold run (fresh cache directory) followed by a warm run must show
+  zero warm misses and a strictly faster warm wall time, asserted via
+  the ``lint_flow_cache_{hits,misses}_total`` counters each run's
+  private :class:`repro.obs.MetricsRegistry` collects.
+
+Timing uses :func:`repro.obs.runledger.wall_now` — the sanctioned
+clock read — so this script passes the very determinism lint it gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.lint.flow import (  # noqa: E402
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_CACHE_DIR,
+    Baseline,
+    analyze_paths,
+    apply_baseline,
+)
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.obs.runledger import wall_now  # noqa: E402
+
+#: The tree the gate covers — must match the CI lint job invocation.
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+
+def _timed_run(paths, cache_dir, use_cache):
+    """One analysis run plus its wall time and cache counters."""
+    registry = MetricsRegistry()
+    start = wall_now()
+    analysis = analyze_paths(
+        paths, cache_dir=cache_dir, use_cache=use_cache, registry=registry
+    )
+    return analysis, wall_now() - start
+
+
+def check_findings(paths, baseline_path, cache_dir) -> int:
+    """Exit status for the baseline gate proper."""
+    analysis, _ = _timed_run(paths, cache_dir, use_cache=True)
+    baseline = Baseline.load(baseline_path)
+    result = apply_baseline(analysis.result, baseline)
+    status = 0
+    if result.findings:
+        for finding in result.findings:
+            print(finding.render())
+        print(
+            f"\n{len(result.findings)} finding(s) not in {baseline_path};"
+            " fix them or baseline them with a justification"
+            " (repro lint --flow --write-baseline).",
+            file=sys.stderr,
+        )
+        status = 1
+    for entry in baseline.unmatched(analysis.result.findings):
+        print(
+            f"stale baseline entry: {entry['path']}: {entry['message']}"
+            f" [{entry['rule']}] — prune it from {baseline_path}",
+            file=sys.stderr,
+        )
+    if status == 0:
+        print(
+            f"lint clean: {analysis.result.files_checked} file(s),"
+            f" {result.baselined} baselined finding(s)"
+        )
+    return status
+
+
+def check_warm_speedup(paths) -> int:
+    """Cold-then-warm verification of the incremental fact cache.
+
+    Runs against a throwaway cache directory so the cold run is truly
+    cold even when the gate proper already warmed the default cache.
+    """
+    with tempfile.TemporaryDirectory(prefix="lintcache-") as cache_dir:
+        return _warm_speedup_in(paths, cache_dir)
+
+
+def _warm_speedup_in(paths, cache_dir) -> int:
+    cold, cold_seconds = _timed_run(paths, cache_dir, use_cache=True)
+    warm, warm_seconds = _timed_run(paths, cache_dir, use_cache=True)
+    print(
+        f"cold: {cold.cache.misses} miss(es), {cold.cache.hits} hit(s),"
+        f" {cold_seconds:.3f}s"
+    )
+    print(
+        f"warm: {warm.cache.misses} miss(es), {warm.cache.hits} hit(s),"
+        f" {warm_seconds:.3f}s"
+    )
+    if warm.cache.misses:
+        print(
+            f"cache ineffective: {warm.cache.misses} warm miss(es)"
+            " — every unchanged module should hit",
+            file=sys.stderr,
+        )
+        return 1
+    if warm.cache.hits != cold.result.files_checked:
+        print(
+            f"cache incomplete: {warm.cache.hits} warm hit(s) for"
+            f" {cold.result.files_checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if warm_seconds >= cold_seconds:
+        print(
+            f"warm run not faster ({warm_seconds:.3f}s >="
+            f" {cold_seconds:.3f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if cold.result.findings != warm.result.findings:
+        print("cold and warm findings diverge", file=sys.stderr)
+        return 1
+    print(f"warm speedup: {cold_seconds / warm_seconds:.1f}x")
+    return 0
+
+
+def main(argv=None) -> int:
+    """``python tools/check_lint_clean.py [--check-warm-speedup] [PATHS]``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS))
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument(
+        "--check-warm-speedup",
+        action="store_true",
+        help="also verify the fact cache: zero warm misses, faster warm run",
+    )
+    args = parser.parse_args(argv)
+    status = check_findings(args.paths, args.baseline, args.cache_dir)
+    if args.check_warm_speedup:
+        status = max(status, check_warm_speedup(args.paths))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
