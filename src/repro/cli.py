@@ -42,7 +42,14 @@ import sys
 from typing import Sequence
 
 from .core import build_report, report_json, train_reregistration_predictor
-from .crawler import CheckpointConfig, dataset_digest, load_dataset, save_dataset
+from .crawler import (
+    CheckpointConfig,
+    dataset_digest,
+    load_dataset,
+    pack_dataset,
+    save_dataset,
+)
+from .datasets import ColumnarDataset, ColumnarFormatError
 from .faults import CrawlKilled, load_plan
 from .lint.cli import add_lint_arguments
 from .lint.cli import run as _cmd_lint
@@ -123,6 +130,17 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="fan crawl stages and analyses out over N processes"
         " (output is byte-identical for any N; default 1 = in-process)",
+    )
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        choices=("object", "columnar"),
+        default="object",
+        help="dataset substrate: the mutable object graph (default) or"
+        " the array-backed columnar store (mmap persistence, zero-pickle"
+        " sharding; output is byte-identical either way)",
     )
 
 
@@ -217,6 +235,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--domains", type=int, default=500)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
 
+    dataset = subparsers.add_parser(
+        "dataset",
+        help="columnar-store maintenance: pack a JSONL dataset, inspect"
+        " a packed file",
+    )
+    dataset_sub = dataset.add_subparsers(dest="dataset_command", required=True)
+    dataset_pack = dataset_sub.add_parser(
+        "pack",
+        help="encode a JSONL dataset directory into dataset.rcol"
+        " (atomic write; later loads mmap it in O(1))",
+    )
+    dataset_pack.add_argument("dataset", help="dataset directory")
+    dataset_pack.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the columnar file here (default: dataset.rcol"
+        " inside the dataset directory)",
+    )
+    dataset_info = dataset_sub.add_parser(
+        "info",
+        help="counts, bytes-per-domain, and section layout of a packed"
+        " columnar dataset",
+    )
+    dataset_info.add_argument(
+        "target", help="columnar file, or a dataset directory holding one"
+    )
+    for subparser in (dataset_pack, dataset_info):
+        _add_obs_args(subparser)
+
     lint = subparsers.add_parser(
         "lint", help="static analysis: determinism, layering, obs hygiene"
     )
@@ -254,6 +302,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for subparser in (simulate, crawl, analyze, report):
         _add_workers_arg(subparser)
+    for subparser in (simulate, crawl, analyze, report):
+        _add_store_arg(subparser)
     for subparser in (simulate, crawl, analyze, predict, report, figures, sweep):
         _add_obs_args(subparser)
     return parser
@@ -377,8 +427,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=obs.tracer,
             executor=resolve_executor(args.workers),
         )
-        with obs.tracer.span("simulate.save"):
-            directory = save_dataset(dataset, args.out)
+        with obs.tracer.span("simulate.save", store=args.store):
+            directory = save_dataset(
+                dataset,
+                args.out,
+                store=args.store,
+                registry=obs.registry,
+                tracer=obs.tracer,
+            )
     obs.dataset_fingerprint = dataset_digest(dataset)
     simulate_span = obs.tracer.find("simulate")
     elapsed = simulate_span.duration if simulate_span else 0.0
@@ -437,7 +493,13 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     obs.dataset_fingerprint = dataset_digest(dataset)
     print(f"  dataset digest {obs.dataset_fingerprint}")
     if args.out:
-        directory = save_dataset(dataset, args.out)
+        directory = save_dataset(
+            dataset,
+            args.out,
+            store=args.store,
+            registry=obs.registry,
+            tracer=obs.tracer,
+        )
         print(f"  dataset written to {directory}")
     obs.finish()
     return 0
@@ -447,8 +509,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.descriptive import describe_dataset
 
     obs = _RunObservability(args)
-    with obs.tracer.span("analyze.load"):
-        dataset = load_dataset(args.dataset)
+    with obs.tracer.span("analyze.load", store=args.store):
+        dataset = load_dataset(
+            args.dataset,
+            store=args.store,
+            registry=obs.registry,
+            tracer=obs.tracer,
+        )
         dataset.validate()
     obs.dataset_fingerprint = dataset_digest(dataset)
     print("--- dataset ---")
@@ -510,6 +577,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     dataset, _ = world.run_crawl(
         registry=obs.registry, tracer=obs.tracer, executor=executor
     )
+    if args.store == "columnar":
+        # Same records, array-backed: the analyses below must produce
+        # byte-identical output (the determinism gate checks this).
+        dataset = ColumnarDataset.from_dataset(
+            dataset, registry=obs.registry, tracer=obs.tracer
+        )
     obs.dataset_fingerprint = dataset_digest(dataset)
     report = build_report(
         dataset,
@@ -521,6 +594,85 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for line in report.lines():
         print(line)
     _write_report_json(args, report)
+    obs.finish()
+    return 0
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}"
+        count /= 1024
+    return f"{count:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    obs = _RunObservability(args)
+    if args.dataset_command == "pack":
+        with obs.tracer.span("dataset.pack"):
+            path = pack_dataset(
+                args.dataset,
+                out=args.out,
+                registry=obs.registry,
+                tracer=obs.tracer,
+            )
+        stats = ColumnarDataset.open(
+            path, registry=obs.registry, tracer=obs.tracer
+        ).stats()
+        print(
+            f"  packed {stats['domains']} domains,"
+            f" {stats['transactions']} transactions,"
+            f" {stats['market_events']} market events"
+            f" into {_format_bytes(stats['bytes'])}"
+            f" ({stats['bytes_per_domain']:.0f} bytes/domain)"
+        )
+        print(f"  columnar file written to {path}")
+        obs.finish()
+        return 0
+    # info
+    from pathlib import Path
+
+    from .crawler.storage import COLUMNAR_FILE
+
+    target = Path(args.target)
+    if target.is_dir():
+        target = target / COLUMNAR_FILE
+    if not target.is_file():
+        print(
+            f"dataset info: {target} not found"
+            " (run `repro dataset pack` first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with obs.tracer.span("dataset.info"):
+            stats = ColumnarDataset.open(
+                target, registry=obs.registry, tracer=obs.tracer
+            ).stats()
+    except ColumnarFormatError as exc:
+        print(f"dataset info: {target}: {exc}", file=sys.stderr)
+        return 2
+    print(f"columnar dataset {stats['path']}")
+    print(f"  format        rcol v{stats['format_version']}")
+    print(
+        f"  size          {_format_bytes(stats['bytes'])}"
+        f" ({stats['bytes_per_domain']:.0f} bytes/domain)"
+    )
+    print(
+        f"  records       {stats['domains']} domains,"
+        f" {stats['registrations']} registrations,"
+        f" {stats['transactions']} transactions,"
+        f" {stats['market_events']} market events"
+    )
+    print(f"  string pool   {stats['pool_strings']} distinct strings")
+    print(f"  crawled at    {stats['crawl_timestamp']}")
+    print("  --- sections ---")
+    for name, section in stats["sections"].items():
+        print(
+            f"  {name:<16s} {section['dtype']:>2s}"
+            f" {section['elements']:>10d} x"
+            f" {_format_bytes(section['bytes']):>10s}"
+        )
     obs.finish()
     return 0
 
@@ -746,6 +898,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "predict": _cmd_predict,
     "report": _cmd_report,
+    "dataset": _cmd_dataset,
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,
     "lint": _cmd_lint,

@@ -179,8 +179,15 @@ class AnalysisContext:
             self._hit["incoming"].inc()
             return cached
         self._miss["incoming"].inc()
-        txs = self.dataset.incoming_of(address)
-        entry = (txs, [tx.timestamp for tx in txs])
+        fast = getattr(self.dataset, "incoming_entry", None)
+        if fast is not None:
+            # Columnar stores serve (txs, stamps) in one call, reading
+            # the timestamp vector off the raw column instead of off
+            # materialized records. Same values, same order.
+            entry = fast(address)
+        else:
+            txs = self.dataset.incoming_of(address)
+            entry = (txs, [tx.timestamp for tx in txs])
         self._incoming[address] = entry
         return entry
 
@@ -238,12 +245,23 @@ class AnalysisContext:
         stamps = [records[i].timestamp for i in order]
         return (order, stamps)
 
+    def _log_order(self, kind: str) -> tuple[list[int], list[int]]:
+        """The ordered permutation of one log, via the columnar fast
+        path when the dataset offers one (sorting raw timestamp columns
+        without materializing records) and via ``_ordered`` otherwise.
+        Both produce identical permutations — stable sort on timestamp."""
+        fast = getattr(self.dataset, "ordered_by_timestamp", None)
+        if fast is not None:
+            return fast(kind)
+        records = getattr(self.dataset, kind)
+        return self._ordered(records)
+
     def transactions_until(self, cutoff: int) -> list[TxRecord]:
         """Transactions with ``timestamp <= cutoff``, in insertion order."""
         self._ensure_fresh()
         if self._tx_order is None:
             self._miss["tx_order"].inc()
-            self._tx_order = self._ordered(self.dataset.transactions)
+            self._tx_order = self._log_order("transactions")
         else:
             self._hit["tx_order"].inc()
         order, stamps = self._tx_order
@@ -256,7 +274,7 @@ class AnalysisContext:
         self._ensure_fresh()
         if self._event_order is None:
             self._miss["tx_order"].inc()
-            self._event_order = self._ordered(self.dataset.market_events)
+            self._event_order = self._log_order("market_events")
         else:
             self._hit["tx_order"].inc()
         order, stamps = self._event_order

@@ -4,7 +4,7 @@ from .checkpoint import CheckpointConfig, CheckpointStore, CrawlState
 from .etherscan_client import EtherscanClient, EtherscanCrawlError
 from .opensea_client import OpenSeaClient, OpenSeaCrawlError
 from .pipeline import CrawlReport, DataCollectionPipeline, coverage_fields
-from .storage import dataset_digest, load_dataset, save_dataset
+from .storage import dataset_digest, load_dataset, pack_dataset, save_dataset
 from .subgraph_client import SubgraphClient, SubgraphCrawlError
 
 __all__ = [
@@ -22,5 +22,6 @@ __all__ = [
     "coverage_fields",
     "dataset_digest",
     "load_dataset",
+    "pack_dataset",
     "save_dataset",
 ]

@@ -6,6 +6,13 @@ Layout of a dataset directory::
     domains.jsonl        one DomainRecord per line
     transactions.jsonl   one TxRecord per line
     market_events.jsonl  one MarketEventRecord per line
+    dataset.rcol         optional columnar container (``--store columnar``)
+
+The JSONL files are the canonical, diffable interchange format and are
+always written. ``dataset.rcol`` is a packed columnar mirror of the
+same records (see :mod:`repro.datasets.columnar`): ``save_dataset(...,
+store="columnar")`` or :func:`pack_dataset` produce it, and
+``load_dataset(..., store="columnar")`` memory-maps it for O(1) opens.
 """
 
 from __future__ import annotations
@@ -14,15 +21,32 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from ..datasets.columnar import (
+    COLUMNAR_SUFFIX,
+    ColumnarDataset,
+    write_columnar,
+)
 from ..datasets.dataset import ENSDataset
 from ..datasets.schema import DomainRecord, MarketEventRecord, TxRecord
+from ..obs.log import get_logger
 
-__all__ = ["save_dataset", "load_dataset", "dataset_digest"]
+__all__ = [
+    "COLUMNAR_FILE",
+    "save_dataset",
+    "load_dataset",
+    "dataset_digest",
+    "pack_dataset",
+]
 
 _DOMAINS_FILE = "domains.jsonl"
 _TRANSACTIONS_FILE = "transactions.jsonl"
 _MARKET_FILE = "market_events.jsonl"
 _META_FILE = "meta.json"
+
+#: Columnar container inside a dataset directory.
+COLUMNAR_FILE = f"dataset{COLUMNAR_SUFFIX}"
+
+_log = get_logger("crawler.storage")
 
 
 def _write_jsonl(path: Path, rows: Iterator[dict[str, Any]]) -> int:
@@ -52,8 +76,22 @@ def _read_jsonl(path: Path, parse: Callable[[dict[str, Any]], Any]) -> list[Any]
     return records
 
 
-def save_dataset(dataset: ENSDataset, directory: str | Path) -> Path:
-    """Write a dataset to ``directory`` (created if needed)."""
+def save_dataset(
+    dataset: ENSDataset | ColumnarDataset,
+    directory: str | Path,
+    *,
+    store: str = "object",
+    registry: Any = None,
+    tracer: Any = None,
+) -> Path:
+    """Write a dataset to ``directory`` (created if needed).
+
+    The JSONL interchange files are always written; ``store="columnar"``
+    additionally packs the records into ``dataset.rcol`` so subsequent
+    ``load_dataset(..., store="columnar")`` calls open via mmap.
+    """
+    if store not in ("object", "columnar"):
+        raise ValueError(f"unknown store {store!r} (choose object or columnar)")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     _write_jsonl(
@@ -74,10 +112,34 @@ def save_dataset(dataset: ENSDataset, directory: str | Path) -> Path:
         "custodialAddresses": sorted(dataset.custodial_addresses),
     }
     (directory / _META_FILE).write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    if store == "columnar":
+        write_columnar(
+            dataset, directory / COLUMNAR_FILE, registry=registry, tracer=tracer
+        )
     return directory
 
 
-def dataset_digest(dataset: ENSDataset) -> str:
+def pack_dataset(
+    directory: str | Path,
+    out: str | Path | None = None,
+    *,
+    registry: Any = None,
+    tracer: Any = None,
+) -> Path:
+    """Pack an existing JSONL dataset directory into a columnar file.
+
+    Loads the object graph once, encodes it, and writes ``out``
+    (default: ``dataset.rcol`` inside the directory) atomically.
+    Returns the written path. ``registry``/``tracer`` feed the encode
+    instrumentation (pool hit counters, ``columnar.encode`` span).
+    """
+    directory = Path(directory)
+    dataset = load_dataset(directory)
+    target = Path(out) if out is not None else directory / COLUMNAR_FILE
+    return write_columnar(dataset, target, registry=registry, tracer=tracer)
+
+
+def dataset_digest(dataset: ENSDataset | ColumnarDataset) -> str:
     """SHA-256 over the dataset's canonical on-disk serialization.
 
     Two datasets with the same digest would produce byte-identical
@@ -107,9 +169,36 @@ def dataset_digest(dataset: ENSDataset) -> str:
     return digest.hexdigest()
 
 
-def load_dataset(directory: str | Path) -> ENSDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+def load_dataset(
+    directory: str | Path,
+    *,
+    store: str = "object",
+    registry: Any = None,
+    tracer: Any = None,
+) -> ENSDataset | ColumnarDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    ``store="columnar"`` memory-maps ``dataset.rcol`` when present —
+    O(1) regardless of row count — and otherwise falls back to loading
+    the JSONL files and encoding in memory (logging a hint to run
+    ``repro dataset pack`` so the next load is O(1)).
+    """
+    if store not in ("object", "columnar"):
+        raise ValueError(f"unknown store {store!r} (choose object or columnar)")
     directory = Path(directory)
+    if store == "columnar":
+        packed = directory / COLUMNAR_FILE
+        if packed.exists():
+            return ColumnarDataset.open(packed, registry=registry, tracer=tracer)
+        _log.info(
+            "columnar.pack_hint",
+            directory=str(directory),
+            hint="no dataset.rcol; encoding in memory -"
+            " run `repro dataset pack` to persist it",
+        )
+        return ColumnarDataset.from_dataset(
+            load_dataset(directory), registry=registry, tracer=tracer
+        )
     meta_path = directory / _META_FILE
     if not meta_path.exists():
         raise FileNotFoundError(f"{directory} does not contain a dataset (no meta.json)")

@@ -1,13 +1,31 @@
-"""Dataset model shared by the crawler and the analyses."""
+"""Dataset model shared by the crawler and the analyses.
 
+Two interchangeable stores implement the same read protocol: the
+mutable object graph (:class:`ENSDataset`) and the read-only
+array-backed :class:`ColumnarDataset` (mmap-persisted, zero-pickle
+sharding) — see :mod:`repro.datasets.columnar`.
+"""
+
+from .columnar import (
+    ColumnarDataset,
+    ColumnarFormatError,
+    ColumnarImmutableError,
+    encode_dataset,
+    write_columnar,
+)
 from .dataset import DatasetIntegrityError, ENSDataset
 from .schema import DomainRecord, MarketEventRecord, RegistrationRecord, TxRecord
 
 __all__ = [
+    "ColumnarDataset",
+    "ColumnarFormatError",
+    "ColumnarImmutableError",
     "DatasetIntegrityError",
     "DomainRecord",
     "ENSDataset",
     "MarketEventRecord",
     "RegistrationRecord",
     "TxRecord",
+    "encode_dataset",
+    "write_columnar",
 ]

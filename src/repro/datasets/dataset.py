@@ -25,6 +25,20 @@ class DatasetIntegrityError(ValueError):
     """The dataset violates a structural invariant."""
 
 
+#: Data attributes whose wholesale replacement (``dataset.transactions =
+#: [...]``, still used by legacy call sites) must invalidate every
+#: derived structure: version, direction indexes, dedup set, name index.
+_TRACKED_FIELDS = frozenset(
+    {
+        "domains",
+        "transactions",
+        "market_events",
+        "coinbase_addresses",
+        "custodial_addresses",
+    }
+)
+
+
 @dataclass
 class ENSDataset:
     """Everything the paper's analyses read."""
@@ -45,6 +59,27 @@ class ENSDataset:
     _indexed: bool = field(default=False, repr=False, compare=False)
     _version: int = field(default=0, repr=False, compare=False)
     _tx_hashes: set[str] = field(default_factory=set, repr=False, compare=False)
+    _tx_dirty: bool = field(default=False, repr=False, compare=False)
+    _names: dict[str, str] | None = field(default=None, repr=False, compare=False)
+    _names_token: tuple[int, int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # From here on, __setattr__ treats tracked-field assignment as a
+        # mutation (the dataclass-generated __init__ ran with the guard off).
+        object.__setattr__(self, "_init_done", True)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name in _TRACKED_FIELDS and getattr(self, "_init_done", False):
+            # Direct replacement is a mutation like any other: bump the
+            # version so AnalysisContext fingerprints change, and flag
+            # every lazily derived structure for rebuild.
+            object.__setattr__(self, "_version", self._version + 1)
+            object.__setattr__(self, "_indexed", False)
+            object.__setattr__(self, "_tx_dirty", True)
+            object.__setattr__(self, "_names", None)
 
     @property
     def version(self) -> int:
@@ -52,6 +87,8 @@ class ENSDataset:
 
         Derived-artifact caches key on this (plus the collection sizes)
         to decide whether their memoized indexes are still valid.
+        Wholesale replacement of a data attribute (``dataset.domains =
+        {...}``) counts as a mutation and bumps it too.
         """
         return self._version
 
@@ -59,25 +96,41 @@ class ENSDataset:
 
     def add_domain(self, domain: DomainRecord) -> None:
         """Insert or replace one domain record."""
+        replacing = domain.domain_id in self.domains
         self.domains[domain.domain_id] = domain
-        self._version += 1
+        object.__setattr__(self, "_version", self._version + 1)
+        if self._names is not None:
+            if replacing:
+                # The old record's name mapping may now be stale; rebuild
+                # lazily on the next domain_by_name call.
+                self._names = None
+                self._names_token = None
+            else:
+                # Keep first-wins semantics: a later domain with a
+                # duplicate name must not shadow the earlier one.
+                self._names.setdefault(domain.name, domain.domain_id)
+                self._names_token = (self._version, len(self.domains))
 
     def add_transactions(self, records: Iterable[TxRecord]) -> None:
         """Append transactions, dropping duplicates by hash.
 
         Dedup state is kept incrementally in ``_tx_hashes`` so repeated
-        batches cost O(batch), not O(total transactions) per call.
+        batches cost O(batch), not O(total transactions) per call. The
+        set is resynced when the transaction list was replaced wholesale
+        (``_tx_dirty``, set by ``__setattr__``) — a signal that, unlike
+        the old length comparison, also fires when the replacement list
+        happens to preserve the length.
         """
-        if len(self._tx_hashes) != len(self.transactions):
-            # the transaction list was replaced/mutated directly; resync once
+        if self._tx_dirty or len(self._tx_hashes) != len(self.transactions):
             self._tx_hashes = {tx.tx_hash for tx in self.transactions}
+            self._tx_dirty = False
         known = self._tx_hashes
         for record in records:
             if record.tx_hash not in known:
                 known.add(record.tx_hash)
                 self.transactions.append(record)
         self._indexed = False
-        self._version += 1
+        object.__setattr__(self, "_version", self._version + 1)
 
     def add_market_events(self, records: Iterable[MarketEventRecord]) -> None:
         """Append market events to the dataset."""
@@ -116,11 +169,22 @@ class ENSDataset:
         return iter(self.domains.values())
 
     def domain_by_name(self, name: str) -> DomainRecord | None:
-        """First domain record named ``name``, or None."""
-        for domain in self.domains.values():
-            if domain.name == name:
-                return domain
-        return None
+        """First domain record named ``name``, or None.
+
+        Backed by a name → domain_id index that ``add_domain`` keeps
+        current and that any other mutation (version bump, direct
+        ``domains`` replacement) invalidates — the lookup is O(1)
+        amortized instead of a scan over every domain.
+        """
+        token = (self._version, len(self.domains))
+        if self._names is None or self._names_token != token:
+            index: dict[str, str] = {}
+            for domain in self.domains.values():
+                index.setdefault(domain.name, domain.domain_id)
+            self._names = index
+            self._names_token = token
+        domain_id = self._names.get(name)
+        return None if domain_id is None else self.domains.get(domain_id)
 
     @property
     def domain_count(self) -> int:

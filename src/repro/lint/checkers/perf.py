@@ -13,6 +13,13 @@ index exists to remove.
   deliberate whole-log pass (descriptive stats, the reference scan
   implementation) carries a ``# lint: ignore[perf-full-tx-scan]``
   suppression with its reason.
+* ``perf-row-object-hot-loop`` — iterating ``<anything>.market_events``
+  the same way. The columnar store answers ordered/windowed event
+  queries straight off its timestamp column
+  (``AnalysisContext.market_events_until``); a raw loop materializes
+  every row object even when the dataset is column-backed. Accepted
+  legacy scans are baselined in ``tools/lint_baseline.json`` rather
+  than suppressed inline.
 """
 
 from __future__ import annotations
@@ -37,9 +44,14 @@ def _is_tx_list(node: ast.expr) -> bool:
     return isinstance(node, ast.Attribute) and node.attr == "transactions"
 
 
+def _is_event_list(node: ast.expr) -> bool:
+    """``<expr>.market_events`` — the raw market-event log attribute."""
+    return isinstance(node, ast.Attribute) and node.attr == "market_events"
+
+
 @register
 class PerfChecker(Checker):
-    """Flag full transaction-log scans inside the analysis layer."""
+    """Flag full row-object scans inside the analysis layer."""
 
     name = "perf"
     rules = (
@@ -48,11 +60,20 @@ class PerfChecker(Checker):
             "full scan of dataset.transactions in repro.core;"
             " query the AnalysisContext instead",
         ),
+        Rule(
+            "perf-row-object-hot-loop",
+            "full scan of dataset.market_events in repro.core;"
+            " use AnalysisContext.market_events_until / column accessors",
+        ),
     )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
-        """Flag for-loops and comprehensions over ``.transactions``."""
-        if source.tree is None or not self.enabled("perf-full-tx-scan"):
+        """Flag for-loops and comprehensions over the raw row logs."""
+        if source.tree is None:
+            return
+        check_txs = self.enabled("perf-full-tx-scan")
+        check_events = self.enabled("perf-row-object-hot-loop")
+        if not (check_txs or check_events):
             return
         module = source.module
         if (
@@ -71,11 +92,19 @@ class PerfChecker(Checker):
             else:
                 continue
             for target in targets:
-                if _is_tx_list(target):
+                if check_txs and _is_tx_list(target):
                     yield self.finding(
                         source, "perf-full-tx-scan",
                         target.lineno, target.col_offset,
                         "iterating the full transaction log; use the shared"
                         " AnalysisContext (incoming_window / payments /"
                         " transactions_until)",
+                    )
+                if check_events and _is_event_list(target):
+                    yield self.finding(
+                        source, "perf-row-object-hot-loop",
+                        target.lineno, target.col_offset,
+                        "iterating the full market-event log materializes"
+                        " every row object; use AnalysisContext"
+                        ".market_events_until or the columnar accessors",
                     )

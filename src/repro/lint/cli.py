@@ -78,18 +78,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--baseline",
         metavar="PATH",
         default=None,
-        help="flow-finding baseline to subtract"
-        " (default: tools/lint_baseline.json when present)",
+        help="finding baseline to subtract (both modes;"
+        " default: tools/lint_baseline.json when present)",
     )
     parser.add_argument(
         "--no-baseline",
         action="store_true",
-        help="ignore the baseline file (report every flow finding)",
+        help="ignore the baseline file (report every finding)",
     )
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="rewrite the baseline to accept every current flow finding",
+        help="rewrite the baseline to accept every current flow finding"
+        " (entries of per-file rules are preserved)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -164,6 +165,7 @@ def _run_flow(args: argparse.Namespace) -> LintResult:
     from .flow import (
         DEFAULT_BASELINE_PATH,
         DEFAULT_CACHE_DIR,
+        FLOW_RULES,
         Baseline,
         analyze_paths,
         apply_baseline,
@@ -177,7 +179,20 @@ def _run_flow(args: argparse.Namespace) -> LintResult:
     result = analysis.result
     baseline_path = args.baseline or DEFAULT_BASELINE_PATH
     if args.write_baseline:
-        Baseline.from_findings(result.findings).write(baseline_path)
+        # Replace only flow-rule entries: the baseline also carries
+        # accepted per-file findings (e.g. perf-row-object-hot-loop),
+        # which a flow rewrite must not drop.
+        flow_rule_ids = {rule.id for rule in FLOW_RULES}
+        preserved = [
+            entry
+            for _, entry in sorted(Baseline.load(baseline_path).entries.items())
+            if entry["rule"] not in flow_rule_ids
+        ]
+        fresh = Baseline.from_findings(result.findings)
+        merged = Baseline(
+            preserved + [entry for _, entry in sorted(fresh.entries.items())]
+        )
+        merged.write(baseline_path)
         print(
             f"baseline written to {baseline_path}"
             f" ({len(result.findings)} finding(s))",
@@ -209,6 +224,15 @@ def run(args: argparse.Namespace) -> int:
         except ValueError as exc:  # unknown rule id
             print(f"repro.lint: {exc}")
             return 2
+        if not args.no_baseline:
+            # Per-file findings honor the same committed baseline as the
+            # flow passes: accepted legacy scans are subtracted before
+            # the exit code, new occurrences still fail.
+            from .flow import DEFAULT_BASELINE_PATH, Baseline, apply_baseline
+
+            result = apply_baseline(
+                result, Baseline.load(args.baseline or DEFAULT_BASELINE_PATH)
+            )
     if args.sarif:
         Path(args.sarif).write_text(_sarif_text(result), encoding="utf-8")
         print(f"sarif report written to {args.sarif}", file=sys.stderr)

@@ -38,7 +38,25 @@ DEFAULT_BASELINE_PATH = "tools/lint_baseline.json"
 
 
 def _key(path: str, rule: str, message: str) -> tuple[str, str, str]:
-    return (path.replace("\\", "/"), rule, message)
+    return (_normalize(path), rule, message)
+
+
+def _normalize(path: str) -> str:
+    """Canonicalize a finding path for baseline matching.
+
+    Baseline entries are committed repo-relative; findings carry
+    whatever path the invocation used. An absolute path under the
+    current working directory is relativized so ``repro lint $(pwd)/src``
+    and ``repro lint src`` hit the same entries.
+    """
+    text = path.replace("\\", "/")
+    candidate = Path(text)
+    if candidate.is_absolute():
+        try:
+            return candidate.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return text
+    return text
 
 
 class Baseline:

@@ -237,11 +237,38 @@ _ANALYZE_SLOS = (
     ),
 )
 
+#: Columnar-store health: ``repro obs diff`` flags a run whose encoded
+#: footprint or load latency regresses past these tripwires, which is
+#: how a representation change that silently bloats the file (or turns
+#: the O(1) mmap open back into an O(n) parse) surfaces in the ledger.
+_COLUMNAR_SLOS = (
+    SLO(
+        name="columnar_bytes_per_domain",
+        metric="columnar_bytes_per_domain",
+        threshold=8192.0,
+        description="encoded columnar footprint stays under 8 KiB/domain",
+    ),
+    SLO(
+        name="columnar_load_wall_clock",
+        metric="span:columnar.load",
+        threshold=5.0,
+        description="mmap open of a packed dataset stays under 5 seconds"
+        " (O(1): independent of row count)",
+    ),
+    SLO(
+        name="columnar_encode_wall_clock",
+        metric="span:columnar.encode",
+        threshold=300.0,
+        description="packing the object graph stays under 5 minutes",
+    ),
+)
+
 _DEFAULT_SLOS: dict[str, tuple[SLO, ...]] = {
-    "simulate": _CRAWL_SLOS,
-    "crawl": _CRAWL_SLOS,
-    "analyze": _ANALYZE_SLOS,
-    "report": _CRAWL_SLOS + _ANALYZE_SLOS,
+    "simulate": _CRAWL_SLOS + _COLUMNAR_SLOS,
+    "crawl": _CRAWL_SLOS + _COLUMNAR_SLOS,
+    "analyze": _ANALYZE_SLOS + _COLUMNAR_SLOS,
+    "report": _CRAWL_SLOS + _ANALYZE_SLOS + _COLUMNAR_SLOS,
+    "dataset": _COLUMNAR_SLOS,
 }
 
 

@@ -63,6 +63,17 @@ class TestQueryEquivalence:
         dataset = _fixture_dataset()
         assert query(AnalysisContext(dataset)) == query(ScanAccess(dataset))
 
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_columnar_store_matches_object_store(self, query) -> None:
+        """Every context query answers identically off column slices."""
+        from repro.datasets import ColumnarDataset
+
+        dataset = _fixture_dataset()
+        columnar = ColumnarDataset.from_dataset(dataset)
+        assert query(AnalysisContext(columnar)) == query(
+            AnalysisContext(dataset)
+        )
+
     def test_window_is_time_sorted_slice(self) -> None:
         dataset = _fixture_dataset()
         context = AnalysisContext(dataset)

@@ -84,6 +84,60 @@ class TestIndexes:
         assert dataset.wallet_addresses() == {"0xreg", "0xwallet"}
 
 
+class TestNameIndex:
+    def test_lookup_without_scan(self) -> None:
+        dataset = make_dataset(
+            [make_domain("a", [make_registration("0xr", 100, 465)])]
+        )
+        assert dataset.domain_by_name("a.eth").label_name == "a"
+        assert dataset.domain_by_name("missing.eth") is None
+
+    def test_index_kept_current_by_add_domain(self) -> None:
+        dataset = make_dataset(
+            [make_domain("a", [make_registration("0xr", 100, 465)])]
+        )
+        dataset.domain_by_name("a.eth")  # build the index
+        dataset.add_domain(
+            make_domain("b", [make_registration("0xs", 200, 565)])
+        )
+        assert dataset.domain_by_name("b.eth").label_name == "b"
+
+    def test_index_invalidated_by_version_bump(self) -> None:
+        dataset = make_dataset(
+            [make_domain("a", [make_registration("0xr", 100, 465)])]
+        )
+        assert dataset.domain_by_name("a.eth") is not None
+        replacement = make_domain("b", [make_registration("0xs", 200, 565)])
+        dataset.domains = {replacement.domain_id: replacement}
+        assert dataset.domain_by_name("a.eth") is None
+        assert dataset.domain_by_name("b.eth").label_name == "b"
+
+    def test_replacing_a_domain_rebuilds_the_index(self) -> None:
+        original = make_domain("a", [make_registration("0xr", 100, 465)])
+        dataset = make_dataset([original])
+        dataset.domain_by_name("a.eth")
+        renamed = make_domain(
+            "renamed",
+            [make_registration("0xr", 100, 465)],
+            domain_id=original.domain_id,
+        )
+        dataset.add_domain(renamed)
+        assert dataset.domain_by_name("a.eth") is None
+        assert dataset.domain_by_name("renamed.eth") is renamed
+
+    def test_duplicate_names_resolve_first_wins(self) -> None:
+        first = make_domain(
+            "dup", [make_registration("0xr", 100, 465)], domain_id="0xone"
+        )
+        second = make_domain(
+            "dup", [make_registration("0xs", 200, 565)], domain_id="0xtwo"
+        )
+        dataset = make_dataset([first])
+        dataset.domain_by_name("dup.eth")  # warm index, then extend it
+        dataset.add_domain(second)
+        assert dataset.domain_by_name("dup.eth") is first
+
+
 class TestValidation:
     def test_valid_dataset_passes(self) -> None:
         dataset = make_dataset(

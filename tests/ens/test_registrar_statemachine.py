@@ -24,6 +24,7 @@ from hypothesis.stateful import (
 
 from repro.chain import Address, Blockchain, SECONDS_PER_DAY, ether
 from repro.ens import ENSDeployment, GRACE_PERIOD_SECONDS, labelhash, namehash
+from repro.ens.registrar import MIN_COMMITMENT_AGE_SECONDS
 from repro.oracle import EthUsdOracle
 
 DAY = SECONDS_PER_DAY
@@ -48,12 +49,13 @@ class RegistrarMachine(RuleBasedStateMachine):
 
     # -- helpers -----------------------------------------------------------
 
-    def _model_available(self, label: str) -> bool:
+    def _model_available(self, label: str, at: int | None = None) -> bool:
         entry = self.model.get(label)
         if entry is None:
             return True
         _, expiry = entry
-        return self.chain.now > expiry + GRACE_PERIOD_SECONDS
+        when = self.chain.now if at is None else at
+        return when > expiry + GRACE_PERIOD_SECONDS
 
     # -- rules ----------------------------------------------------------------
 
@@ -64,7 +66,13 @@ class RegistrarMachine(RuleBasedStateMachine):
     )
     def register(self, label: str, actor: Address, duration_days: int) -> None:
         duration = duration_days * DAY
-        expected_available = self._model_available(label)
+        # The register helper commits, waits out the 60-second minimum
+        # commitment age, then reveals — so availability is judged at the
+        # reveal timestamp, not at the pre-call clock. The two differ
+        # exactly when the grace period ends inside that window.
+        expected_available = self._model_available(
+            label, at=self.chain.now + MIN_COMMITMENT_AGE_SECONDS
+        )
         receipt = self.ens.register(actor, label, duration, set_addr_to=actor)
         assert receipt.success == expected_available, receipt.error
         if receipt.success:

@@ -89,3 +89,57 @@ class TestFullTxScan:
             """,
             rules=["perf"],
         ) == []
+
+
+class TestRowObjectHotLoop:
+    def test_flags_for_loop_over_market_events(self, rule_ids) -> None:
+        assert "perf-row-object-hot-loop" in rule_ids(
+            """
+            def sales(dataset):
+                total = 0
+                for event in dataset.market_events:
+                    total += event.price_wei
+                return total
+            """,
+            rules=["perf"],
+        )
+
+    def test_flags_comprehension_over_market_events(self, rule_ids) -> None:
+        assert "perf-row-object-hot-loop" in rule_ids(
+            """
+            def before(dataset, cutoff):
+                return [e for e in dataset.market_events if e.timestamp <= cutoff]
+            """,
+            rules=["perf"],
+        )
+
+    def test_index_layer_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def order(self):
+                return [e.timestamp for e in self.dataset.market_events]
+            """,
+            module="repro.core.context",
+            path="src/repro/core/context.py",
+            rules=["perf"],
+        ) == []
+
+    def test_outside_core_is_exempt(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def dump(dataset):
+                return [e.as_dict() for e in dataset.market_events]
+            """,
+            module="repro.crawler.storage",
+            path="src/repro/crawler/storage.py",
+            rules=["perf"],
+        ) == []
+
+    def test_length_reads_not_flagged(self, rule_ids) -> None:
+        assert rule_ids(
+            """
+            def count(dataset):
+                return len(dataset.market_events)
+            """,
+            rules=["perf"],
+        ) == []

@@ -66,6 +66,68 @@ class TestReport:
         output = capsys.readouterr().out
         assert "domains: " in output
 
+    def test_store_choice_is_invisible_in_output(self, tmp_path, capsys) -> None:
+        argv = ["report", "--domains", "120", "--seed", "5"]
+        assert main([*argv, "--store", "object"]) == 0
+        object_out = capsys.readouterr().out
+        assert main([*argv, "--store", "columnar"]) == 0
+        assert capsys.readouterr().out == object_out
+
+
+class TestDatasetSubcommand:
+    def test_crawl_with_columnar_store_writes_rcol(
+        self, tmp_path, capsys
+    ) -> None:
+        out = tmp_path / "crawl"
+        code = main(
+            [
+                "simulate", "--domains", "60", "--seed", "3",
+                "--out", str(out), "--store", "columnar",
+            ]
+        )
+        assert code == 0
+        assert (out / "dataset.rcol").is_file()
+        assert (out / "domains.jsonl").is_file()  # JSONL stays canonical
+
+    def test_pack_then_info(self, tmp_path, capsys) -> None:
+        out = tmp_path / "crawl"
+        assert main(
+            ["simulate", "--domains", "60", "--seed", "3", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["dataset", "pack", str(out)]) == 0
+        packed = capsys.readouterr().out
+        assert "columnar file written to" in packed
+        assert "bytes/domain" in packed
+        assert main(["dataset", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "format        rcol v1" in info
+        assert "60 domains" in info
+        assert "tx_ts" in info  # sections table
+
+    def test_info_without_pack_exits_two(self, tmp_path, capsys) -> None:
+        assert main(["dataset", "info", str(tmp_path)]) == 2
+        assert "repro dataset pack" in capsys.readouterr().err
+
+    def test_info_on_corrupt_file_exits_two(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "dataset.rcol"
+        bad.write_bytes(b"NOPE" + b"\x00" * 64)
+        assert main(["dataset", "info", str(bad)]) == 2
+        assert "dataset info" in capsys.readouterr().err
+
+    def test_analyze_columnar_matches_object(self, tmp_path, capsys) -> None:
+        out = tmp_path / "crawl"
+        assert main(
+            ["simulate", "--domains", "60", "--seed", "3", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        object_out = capsys.readouterr().out
+        assert main(["dataset", "pack", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--store", "columnar"]) == 0
+        assert capsys.readouterr().out == object_out
+
 
 class TestObservabilityFlags:
     def test_simulate_metrics_out_matches_crawl_report(self, tmp_path, capsys) -> None:
@@ -192,6 +254,9 @@ class TestRunLedger:
         assert {slo["name"] for slo in record["slos"]} == {
             "crawl_wall_clock",
             "crawl_shard_p99",
+            "columnar_bytes_per_domain",
+            "columnar_encode_wall_clock",
+            "columnar_load_wall_clock",
         }
 
     def test_no_ledger_flag_skips_the_append(self, tmp_path, capsys) -> None:

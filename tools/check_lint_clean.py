@@ -34,6 +34,7 @@ if str(_SRC) not in sys.path:
 from repro.lint.flow import (  # noqa: E402
     DEFAULT_BASELINE_PATH,
     DEFAULT_CACHE_DIR,
+    FLOW_RULES,
     Baseline,
     analyze_paths,
     apply_baseline,
@@ -71,7 +72,12 @@ def check_findings(paths, baseline_path, cache_dir) -> int:
             file=sys.stderr,
         )
         status = 1
+    flow_rule_ids = {rule.id for rule in FLOW_RULES}
     for entry in baseline.unmatched(analysis.result.findings):
+        if entry["rule"] not in flow_rule_ids:
+            # per-file-rule entries are matched by the per-file lint
+            # run, never by the flow passes — not stale from here
+            continue
         print(
             f"stale baseline entry: {entry['path']}: {entry['message']}"
             f" [{entry['rule']}] — prune it from {baseline_path}",

@@ -3,15 +3,19 @@
 Usage::
 
     python tools/check_report_determinism.py \
-        [--domains 120] [--seed 5] [--workers 1,4] \
+        [--domains 120] [--seed 5] [--workers 1,4] [--stores object] \
         [--golden tests/golden/report_digests.json] [--update-golden]
 
 Runs the full ``repro report`` pipeline (scenario crawl + analysis)
-once per worker count through the real CLI entry point, writing each
-run's canonical report JSON via ``--json-out``, and fails unless every
-run produced *byte-identical* output. This is the CI determinism gate
-for :mod:`repro.parallel`: sharded fan-out must be invisible in the
-results, not merely statistically close.
+once per (store, worker-count) pair through the real CLI entry point,
+writing each run's canonical report JSON via ``--json-out``, and fails
+unless every run produced *byte-identical* output. This is the CI
+determinism gate for :mod:`repro.parallel` *and* for the columnar
+dataset core: sharded fan-out and the backing store must both be
+invisible in the results, not merely statistically close. With
+``--stores object,columnar`` the whole matrix — every store at every
+worker count — must agree on one byte sequence and one golden digest;
+the golden key deliberately does not mention the store.
 
 The agreed bytes are additionally hashed (SHA-256) and compared
 against a committed golden digest, which catches a subtler failure:
@@ -45,7 +49,9 @@ DEFAULT_GOLDEN = Path(__file__).resolve().parent.parent / (
 )
 
 
-def run_report(domains: int, seed: int, workers: int, out: Path) -> None:
+def run_report(
+    domains: int, seed: int, workers: int, store: str, out: Path
+) -> None:
     """Invoke the real CLI in-process; raise if it exits non-zero."""
     from repro.cli import main as cli_main
 
@@ -55,11 +61,14 @@ def run_report(domains: int, seed: int, workers: int, out: Path) -> None:
             "--domains", str(domains),
             "--seed", str(seed),
             "--workers", str(workers),
+            "--store", store,
             "--json-out", str(out),
         ]
     )
     if code != 0:
-        raise RuntimeError(f"repro report --workers {workers} exited {code}")
+        raise RuntimeError(
+            f"repro report --store {store} --workers {workers} exited {code}"
+        )
 
 
 def scenario_key(domains: int, seed: int) -> str:
@@ -76,6 +85,12 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated worker counts to compare (default 1,4)",
     )
     parser.add_argument(
+        "--stores",
+        default="object",
+        help="comma-separated dataset stores to compare"
+        " (default object; pass object,columnar for the full matrix)",
+    )
+    parser.add_argument(
         "--golden",
         type=Path,
         default=DEFAULT_GOLDEN,
@@ -88,29 +103,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     worker_counts = [int(part) for part in args.workers.split(",") if part]
+    stores = [part.strip() for part in args.stores.split(",") if part.strip()]
 
-    outputs: dict[int, bytes] = {}
+    matrix = [(store, workers) for store in stores for workers in worker_counts]
+    outputs: dict[tuple[str, int], bytes] = {}
     with tempfile.TemporaryDirectory() as tmp:
-        for workers in worker_counts:
-            out = Path(tmp) / f"report-w{workers}.json"
-            run_report(args.domains, args.seed, workers, out)
-            outputs[workers] = out.read_bytes()
+        for store, workers in matrix:
+            out = Path(tmp) / f"report-{store}-w{workers}.json"
+            run_report(args.domains, args.seed, workers, store, out)
+            outputs[store, workers] = out.read_bytes()
             print(
-                f"workers={workers}: {len(outputs[workers])} bytes,"
-                f" sha256={hashlib.sha256(outputs[workers]).hexdigest()[:16]}…"
+                f"store={store} workers={workers}:"
+                f" {len(outputs[store, workers])} bytes, sha256="
+                f"{hashlib.sha256(outputs[store, workers]).hexdigest()[:16]}…"
             )
 
-    reference_workers = worker_counts[0]
-    reference = outputs[reference_workers]
-    mismatched = [w for w in worker_counts[1:] if outputs[w] != reference]
+    reference_cell = matrix[0]
+    reference = outputs[reference_cell]
+    mismatched = [cell for cell in matrix[1:] if outputs[cell] != reference]
     if mismatched:
+        cells = ", ".join(f"{s}/w{w}" for s, w in mismatched)
         print(
-            f"\nFAIL: report bytes at workers={mismatched} differ from"
-            f" workers={reference_workers} — a merge is leaking completion"
-            " order or worker count into the output"
+            f"\nFAIL: report bytes at ({cells}) differ from"
+            f" {reference_cell[0]}/w{reference_cell[1]} — a merge or store"
+            " is leaking completion order, worker count, or representation"
+            " into the output"
         )
         return EXIT_WORKER_MISMATCH
-    print(f"report byte-identical across workers={worker_counts}")
+    print(
+        f"report byte-identical across stores={stores}"
+        f" x workers={worker_counts}"
+    )
 
     digest = hashlib.sha256(reference).hexdigest()
     key = scenario_key(args.domains, args.seed)
