@@ -8,6 +8,7 @@ The workflows of the repository as one tool::
     repro analyze ./crawl                                  # headline report
     repro predict ./crawl                                  # risk predictor
     repro report --domains 800                             # all-in-one, in memory
+    repro serve ./crawl --port 8321                        # resident query server
     repro lint src                                         # structural invariants
     repro obs ls                                           # the run ledger
     repro obs diff -2 -1                                   # SLO/metric deltas
@@ -223,6 +224,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report's canonical JSON encoding to PATH",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="resident query server: load a dataset once, answer"
+        " report/domain/dropcatch/hijackable queries over HTTP",
+    )
+    serve.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="dataset directory to serve (omit to build an in-memory"
+        " scenario from --domains/--seed)",
+    )
+    serve.add_argument("--domains", type=int, default=300)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--control-seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listening port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--load-gen",
+        metavar="N",
+        type=int,
+        default=None,
+        help="load-generation mode: serve, fire N requests per client,"
+        " print throughput/latency stats, then shut down",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent load-generation clients (with --load-gen)",
+    )
+
     figures = subparsers.add_parser(
         "figures", help="export every figure's data series as CSV"
     )
@@ -300,11 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
             f" {DEFAULT_LEDGER_DIR})",
         )
 
-    for subparser in (simulate, crawl, analyze, report):
+    for subparser in (simulate, crawl, analyze, report, serve):
         _add_workers_arg(subparser)
-    for subparser in (simulate, crawl, analyze, report):
+    for subparser in (simulate, crawl, analyze, report, serve):
         _add_store_arg(subparser)
-    for subparser in (simulate, crawl, analyze, predict, report, figures, sweep):
+    for subparser in (
+        simulate, crawl, analyze, predict, report, serve, figures, sweep,
+    ):
         _add_obs_args(subparser)
     return parser
 
@@ -594,6 +634,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for line in report.lines():
         print(line)
     _write_report_json(args, report)
+    obs.finish()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ReproApp, ReproServer, run_load
+
+    obs = _RunObservability(args)
+    executor = resolve_executor(args.workers)
+    if args.dataset is not None:
+        with obs.tracer.span("serve.load", store=args.store):
+            dataset = load_dataset(
+                args.dataset,
+                store=args.store,
+                registry=obs.registry,
+                tracer=obs.tracer,
+            )
+        oracle = EthUsdOracle()
+    else:
+        world = run_scenario(
+            ScenarioConfig(n_domains=args.domains, seed=args.seed),
+            registry=obs.registry,
+            tracer=obs.tracer,
+        )
+        dataset, _ = world.run_crawl(
+            registry=obs.registry, tracer=obs.tracer, executor=executor
+        )
+        if args.store == "columnar":
+            dataset = ColumnarDataset.from_dataset(
+                dataset, registry=obs.registry, tracer=obs.tracer
+            )
+        oracle = world.oracle
+    obs.dataset_fingerprint = dataset_digest(dataset)
+    app = ReproApp(
+        dataset,
+        oracle,
+        seed=args.control_seed,
+        registry=obs.registry,
+        tracer=obs.tracer,
+        executor=executor,
+    )
+    server = ReproServer(app, host=args.host, port=args.port)
+    if args.load_gen is not None:
+        server.start()
+        print(f"serving on http://{server.address} (load-gen mode)")
+        with obs.tracer.span(
+            "serve.loadgen", clients=args.clients, requests=args.load_gen
+        ):
+            stats = run_load(
+                server.host,
+                server.port,
+                clients=args.clients,
+                requests_per_client=args.load_gen,
+                registry=obs.registry,
+            )
+        server.stop()
+        for line in stats.lines():
+            print(f"  {line}")
+        obs.finish()
+        return 1 if stats.errors else 0
+    print(f"serving on http://{server.address} (Ctrl-C to stop)")
+    server.serve_forever()
     obs.finish()
     return 0
 
@@ -898,6 +1000,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "predict": _cmd_predict,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "dataset": _cmd_dataset,
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,

@@ -38,7 +38,7 @@ from .prediction import (
     train_reregistration_predictor,
 )
 from .profit import CatchEconomics, ProfitReport, analyze_profit
-from .report import HeadlineReport, build_report, report_json
+from .report import HeadlineReport, build_report, canonical_json, report_json
 from .resale import ResaleReport, analyze_resale
 from .stats import (
     SIGNIFICANCE_LEVEL,
@@ -122,6 +122,7 @@ __all__ = [
     "analyze_profit",
     "analyze_resale",
     "build_report",
+    "canonical_json",
     "compare_groups",
     "report_json",
     "control_candidates",

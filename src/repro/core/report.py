@@ -16,6 +16,7 @@ determinism gate compares across worker counts.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -36,7 +37,7 @@ from .resale import ResaleReport, analyze_resale
 from .timing import DelayDistribution, delay_distribution
 from .typosquat import TyposquatReport, find_typosquat_catches
 
-__all__ = ["HeadlineReport", "build_report", "report_json"]
+__all__ = ["HeadlineReport", "build_report", "canonical_json", "report_json"]
 
 #: Independent analysis units for the parallel path, in canonical
 #: (serial) order. Passes that feed each other stay in one group —
@@ -214,18 +215,55 @@ class HeadlineReport:
         }
 
 
+def _sanitize_non_finite(value: Any) -> Any:
+    """Replace NaN/±Inf floats with ``None``, recursively.
+
+    ``json.dumps`` defaults to ``allow_nan=True`` and happily emits the
+    bare tokens ``NaN``/``Infinity`` — which are *not* JSON and break
+    every strict parser downstream. Ratios over empty denominators (a
+    crawl that recovered nothing, an empty expiry universe) are exactly
+    where these appear, so the canonical encoders map them to ``null``.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize_non_finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_non_finite(item) for item in value]
+    return value
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON text for any JSON-ready payload.
+
+    Sorted keys, compact separators, trailing newline, and non-finite
+    floats rendered as ``null`` (``allow_nan=False`` guarantees no
+    invalid token can ever slip through). :func:`report_json` and every
+    ``repro serve`` JSON response use this one encoder, which is what
+    makes HTTP bodies byte-comparable with CLI ``--json-out`` files.
+    """
+    return (
+        json.dumps(
+            _sanitize_non_finite(payload),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        + "\n"
+    )
+
+
 def report_json(report: HeadlineReport) -> str:
     """The canonical byte encoding of a report (sorted keys, compact).
 
     This exact string is what the CI determinism job compares between
     ``--workers 1`` and ``--workers 4`` runs and hashes against the
     committed golden digest — any formatting drift here is a
-    determinism-gate break, not a cosmetic change.
+    determinism-gate break, not a cosmetic change. Non-finite floats
+    (e.g. a NaN ``recovery_rate``-style ratio from an empty
+    denominator) encode as ``null`` rather than invalid JSON.
     """
-    return (
-        json.dumps(report.as_dict(), sort_keys=True, separators=(",", ":"))
-        + "\n"
-    )
+    return canonical_json(report.as_dict())
 
 
 def _report_pass_group(

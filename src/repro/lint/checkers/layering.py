@@ -12,7 +12,8 @@ import higher ones)::
     crawler, explorer, faults,                  (services over the protocol;
     marketplace, simulation                      faults wraps its peers)
     core                                        (the paper's analyses)
-    perf, wallets                               (index alias / Appendix-B study)
+    perf, serve, wallets                        (index alias / query server /
+                                                 Appendix-B study)
     cli                                         (user interface, imports all)
 
 Two rules:
@@ -51,6 +52,7 @@ LAYERS: dict[str, int] = {
     "simulation": 3,
     "core": 4,
     "perf": 5,       # alias over core.context; re-exports, never imported by core
+    "serve": 5,      # resident query server over core's analyses
     "wallets": 5,
     "cli": 6,
 }

@@ -263,12 +263,39 @@ _COLUMNAR_SLOS = (
     ),
 )
 
+#: Resident-server health: the warm-up must stay interactive, request
+#: latency bounded, and a clean run must serve zero 5xx responses. The
+#: latency bound reads the exact p99 of the raw request histogram, so
+#: it holds for any traffic mix a run actually saw.
+_SERVE_SLOS = (
+    SLO(
+        name="serve_warmup_wall_clock",
+        metric="span:serve.warmup",
+        threshold=120.0,
+        description="dataset load + report warm-up stays under 2 minutes",
+    ),
+    SLO(
+        name="serve_request_p99",
+        metric="serve_request_all_seconds",
+        objective="p99",
+        threshold=0.5,
+        description="p99 request latency stays under 500ms",
+    ),
+    SLO(
+        name="serve_zero_errors",
+        metric="serve_errors_total",
+        threshold=0.0,
+        description="a healthy run serves no 5xx responses",
+    ),
+)
+
 _DEFAULT_SLOS: dict[str, tuple[SLO, ...]] = {
     "simulate": _CRAWL_SLOS + _COLUMNAR_SLOS,
     "crawl": _CRAWL_SLOS + _COLUMNAR_SLOS,
     "analyze": _ANALYZE_SLOS + _COLUMNAR_SLOS,
     "report": _CRAWL_SLOS + _ANALYZE_SLOS + _COLUMNAR_SLOS,
     "dataset": _COLUMNAR_SLOS,
+    "serve": _SERVE_SLOS + _COLUMNAR_SLOS,
 }
 
 

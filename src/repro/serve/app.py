@@ -1,0 +1,437 @@
+"""The serve application: routes, warm analysis state, response cache.
+
+:class:`ReproApp` is the transport-independent half of ``repro serve``:
+it owns the dataset, a warm :class:`~repro.core.context.AnalysisContext`,
+the eagerly built :class:`~repro.core.report.HeadlineReport`, and the
+versioned :class:`~repro.serve.query.QueryCache`, and maps one ``(method,
+target)`` pair to one :class:`Response`. The HTTP listener
+(:mod:`repro.serve.server`) is a thin shell around :meth:`ReproApp.handle`,
+which is also what lets the test harness drive the application in-process
+without sockets.
+
+Endpoints (all ``GET``):
+
+``/healthz``
+    liveness probe, ``text/plain`` ``ok``.
+``/metrics``
+    Prometheus exposition of the app registry + the process-global one.
+``/report``
+    the full §4 headline report — byte-identical to
+    ``repro report --json-out`` for the same dataset.
+``/report/<section>``
+    one top-level section of the report (``summary``, ``actors``, …).
+``/domain/<name>``
+    one domain's record plus its dropcatch events, via the O(1) name
+    index (ENS-normalized lookup).
+``/query/dropcatch``
+    every re-registration event; filters: ``name=<ens name>``,
+    ``premium=true|false``, ``limit=N``.
+``/query/hijackable``
+    every hijackable-funds window with its USD exposure; filter
+    ``limit=N``.
+
+Every JSON body is rendered by the canonical encoder
+(:func:`~repro.core.report.canonical_json`), so responses are
+byte-stable across runs and non-finite floats encode as ``null``.
+Cacheable responses (everything except ``/healthz`` and ``/metrics``)
+are computed under one lock: concurrent identical queries produce
+exactly one miss and N-1 hits, which the concurrency harness checks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..chain.errors import InvalidName
+from ..core.context import AnalysisContext
+from ..core.dropcatch import ReRegistration
+from ..core.hijackable import find_hijackable
+from ..core.report import (
+    HeadlineReport,
+    build_report,
+    canonical_json,
+    report_json,
+)
+from ..datasets.columnar import ColumnarDataset
+from ..datasets.dataset import ENSDataset
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.exporters import prometheus_text
+from ..obs.tracing import Tracer
+from ..oracle.ethusd import EthUsdOracle
+from ..parallel import ParallelExecutor
+from .query import QueryCache, canonical_query
+
+__all__ = [
+    "ERRORS_METRIC",
+    "REQUESTS_METRIC",
+    "REQUEST_SECONDS_ALL_METRIC",
+    "REQUEST_SECONDS_METRIC",
+    "ReproApp",
+    "Response",
+]
+
+#: Requests served, by endpoint class and status class.
+REQUESTS_METRIC = "serve_requests_total"
+
+#: Request latency histogram, by endpoint class.
+REQUEST_SECONDS_METRIC = "serve_request_seconds"
+
+#: Unlabelled request latency aggregate (the serve_request_p99 SLO target).
+REQUEST_SECONDS_ALL_METRIC = "serve_request_all_seconds"
+
+#: Responses with a 5xx status (bound eagerly so the zero-error SLO
+#: reads 0.0 instead of "no data" on a clean run).
+ERRORS_METRIC = "serve_errors_total"
+
+_TEXT = "text/plain; charset=utf-8"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+_JSON = "application/json"
+
+_log = get_logger("serve.app")
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One finished HTTP response: status, content type, body bytes."""
+
+    status: int
+    content_type: str
+    body: bytes
+
+
+def _json_response(payload: object, status: int = 200) -> Response:
+    """Canonical-JSON response for any JSON-ready payload."""
+    return Response(status, _JSON, canonical_json(payload).encode("utf-8"))
+
+
+def _error(status: int, message: str) -> Response:
+    """A JSON error body (``{"error": ..., "status": ...}``)."""
+    return _json_response({"error": message, "status": status}, status=status)
+
+
+def _endpoint_class(path: str) -> str:
+    """Bounded-cardinality endpoint label for a request path."""
+    segments = [part for part in path.split("/") if part]
+    if not segments:
+        return "root"
+    head = segments[0]
+    if head == "report":
+        return "report_section" if len(segments) > 1 else "report"
+    if head == "domain":
+        return "domain"
+    if head == "query" and len(segments) > 1:
+        return f"query_{segments[1]}"
+    if head in ("healthz", "metrics"):
+        return head
+    return "other"
+
+
+def _event_payload(event: ReRegistration) -> dict[str, object]:
+    """JSON-ready encoding of one dropcatch event."""
+    return {
+        "domain_id": event.domain_id,
+        "name": event.name,
+        "previous_owner": event.previous_owner,
+        "new_owner": event.new_owner,
+        "expiry_date": event.previous.expiry_date,
+        "reregistration_date": event.next.registration_date,
+        "delay_days": event.delay_days,
+        "paid_premium": event.paid_premium,
+        "premium_wei": event.next.premium_wei,
+    }
+
+
+class ReproApp:
+    """Resident query application over one loaded dataset.
+
+    Construction is the warm-up: it builds the shared
+    :class:`AnalysisContext` and the full headline report once (under a
+    ``serve.warmup`` span when a tracer is given), so the first request
+    never pays the analysis cost — only the render. All cacheable
+    request handling is serialized by one lock; see the module
+    docstring for why that makes cache counters deterministic.
+    """
+
+    def __init__(
+        self,
+        dataset: ENSDataset | ColumnarDataset,
+        oracle: EthUsdOracle | None = None,
+        *,
+        seed: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
+        """Load ``dataset`` and pre-build the warm analysis state."""
+        self.dataset = dataset
+        self.oracle = oracle if oracle is not None else EthUsdOracle()
+        self.seed = seed
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._cache = QueryCache(self.registry)
+        self._requests = self.registry.counter(
+            REQUESTS_METRIC,
+            "Requests served, by endpoint class and status class",
+            labels=("endpoint", "status"),
+        )
+        self._latency = self.registry.histogram(
+            REQUEST_SECONDS_METRIC,
+            "Request wall-clock latency by endpoint class",
+            labels=("endpoint",),
+        )
+        self._latency_all = self.registry.histogram(
+            REQUEST_SECONDS_ALL_METRIC,
+            "Request wall-clock latency across all endpoints"
+            " (the serve_request_p99 SLO reads this)",
+        )
+        self._errors = self.registry.counter(
+            ERRORS_METRIC, "Responses with a 5xx status"
+        )
+        self._inflight = self.registry.gauge(
+            "serve_inflight_requests", "Requests currently being handled"
+        )
+        warm_tracer = tracer if tracer is not None else Tracer(registry=self.registry)
+        with warm_tracer.span("serve.warmup"):
+            self.context = AnalysisContext(
+                dataset, self.oracle, registry=self.registry
+            )
+            self._report: HeadlineReport = build_report(
+                dataset,
+                self.oracle,
+                seed=seed,
+                registry=self.registry,
+                tracer=warm_tracer,
+                context=self.context,
+                executor=executor,
+            )
+            self._report_token = self._token()
+        _log.info(
+            "serve.warm",
+            domains=len(dataset.domains),
+            transactions=len(dataset.transactions),
+        )
+
+    # -- versioning --------------------------------------------------------
+
+    def _token(self) -> tuple[int, int, int, int]:
+        """The dataset version token cache entries are keyed on."""
+        dataset = self.dataset
+        return (
+            dataset.version,
+            len(dataset.domains),
+            len(dataset.transactions),
+            len(dataset.market_events),
+        )
+
+    def _report_for(self, token: tuple[int, int, int, int]) -> HeadlineReport:
+        """The headline report for the current dataset state.
+
+        Rebuilt (rarely) when the dataset mutated since warm-up;
+        callers hold the app lock.
+        """
+        if token != self._report_token:
+            self.context = AnalysisContext(
+                self.dataset, self.oracle, registry=self.registry
+            )
+            self._report = build_report(
+                self.dataset,
+                self.oracle,
+                seed=self.seed,
+                registry=self.registry,
+                tracer=Tracer(registry=self.registry),
+                context=self.context,
+            )
+            self._report_token = token
+        return self._report
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, method: str, target: str) -> Response:
+        """Serve one request; always returns a :class:`Response`.
+
+        ``target`` is the raw request target (path plus optional query
+        string). Unexpected exceptions become a 500 — they are logged
+        and counted, never propagated into the listener thread.
+        """
+        parts = urlsplit(target)
+        endpoint = _endpoint_class(parts.path)
+        with self._lock:
+            self._inflight.inc()
+        timer = Tracer()
+        try:
+            with timer.span("serve.request"):
+                response = self._route(method, parts.path, parts.query)
+        except Exception as exc:  # noqa: BLE001 - boundary: keep serving
+            _log.error(
+                "serve.request_failed",
+                target=target,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            response = _error(500, "internal server error")
+        status_class = f"{response.status // 100}xx"
+        duration = timer.roots[0].duration if timer.roots else None
+        with self._lock:
+            self._inflight.dec()
+            self._requests.labels(endpoint=endpoint, status=status_class).inc()
+            if response.status >= 500:
+                self._errors.inc()
+            if duration is not None:
+                self._latency.labels(endpoint=endpoint).observe(duration)
+                self._latency_all.observe(duration)
+        return response
+
+    def _route(self, method: str, path: str, query: str) -> Response:
+        """Dispatch one parsed request to its endpoint."""
+        if method != "GET":
+            return _error(405, f"method {method} not allowed (GET only)")
+        if path == "/healthz":
+            return Response(200, _TEXT, b"ok\n")
+        if path == "/metrics":
+            text = prometheus_text(self.registry, global_registry())
+            return Response(200, _PROM, text.encode("utf-8"))
+        try:
+            key = canonical_query(path, query)
+        except InvalidName as exc:
+            return _error(400, str(exc))
+        with self._lock:
+            token = self._token()
+            cached = self._cache.lookup(token, key)
+            if cached is not None:
+                assert isinstance(cached, Response)
+                return cached
+            response = self._compute(key, token)
+            if response.status == 200:
+                self._cache.store(token, key, response)
+        return response
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _compute(
+        self, key: str, token: tuple[int, int, int, int]
+    ) -> Response:
+        """Build the response for one canonical query (lock held).
+
+        The canonical text percent-encodes segments and parameters
+        (see :func:`~repro.serve.query.canonical_query`), so both are
+        decoded here before dispatch.
+        """
+        path, _, query = key.partition("?")
+        params = dict(parse_qsl(query))
+        segments = [unquote(part) for part in path.split("/") if part]
+        if path == "/report":
+            report = self._report_for(token)
+            return Response(200, _JSON, report_json(report).encode("utf-8"))
+        if len(segments) == 2 and segments[0] == "report":
+            payload = self._report_for(token).as_dict()
+            section = segments[1]
+            if section not in payload:
+                known = ", ".join(sorted(payload))
+                return _error(
+                    404, f"unknown report section {section!r} (one of: {known})"
+                )
+            return _json_response(payload[section])
+        if len(segments) == 2 and segments[0] == "domain":
+            return self._domain(segments[1])
+        if path == "/query/dropcatch":
+            return self._dropcatch(params)
+        if path == "/query/hijackable":
+            return self._hijackable(params)
+        return _error(404, f"no such endpoint: {path}")
+
+    def _domain(self, name: str) -> Response:
+        """``/domain/<name>``: record + dropcatch events, O(1) lookup."""
+        record = self.dataset.domain_by_name(name)
+        if record is None:
+            return _error(404, f"no domain named {name!r}")
+        events = [
+            _event_payload(event)
+            for event in self.context.reregistrations()
+            if event.domain_id == record.domain_id
+        ]
+        return _json_response(
+            {
+                "name": name,
+                "domain": record.as_dict(),
+                "reregistrations": events,
+            }
+        )
+
+    def _dropcatch(self, params: dict[str, str]) -> Response:
+        """``/query/dropcatch``: the re-registration event list."""
+        events = self.context.reregistrations()
+        name = params.get("name")
+        if name is not None:
+            events = [event for event in events if event.name == name]
+        premium = params.get("premium")
+        if premium is not None:
+            if premium not in ("true", "false"):
+                return _error(400, "premium must be 'true' or 'false'")
+            events = [
+                event
+                for event in events
+                if event.paid_premium == (premium == "true")
+            ]
+        events, limited = self._limit(events, params)
+        if events is None:
+            return _error(400, "limit must be a non-negative integer")
+        return _json_response(
+            {
+                "count": len(events),
+                "limited": limited,
+                "events": [_event_payload(event) for event in events],
+            }
+        )
+
+    def _hijackable(self, params: dict[str, str]) -> Response:
+        """``/query/hijackable``: exposure windows with USD totals."""
+        report = find_hijackable(self.dataset, self.oracle, context=self.context)
+        windows = [window for window in report.windows if window.txs]
+        windows, limited = self._limit(windows, params)
+        if windows is None:
+            return _error(400, "limit must be a non-negative integer")
+        return _json_response(
+            {
+                "count": len(windows),
+                "limited": limited,
+                "total_usd": report.total_usd,
+                "windows": [
+                    {
+                        "domain_id": window.domain_id,
+                        "name": window.name,
+                        "wallet": window.wallet,
+                        "window_start": window.window_start,
+                        "window_end": window.window_end,
+                        "tx_count": len(window.txs),
+                        "usd_total": window.usd_total(self.oracle),
+                    }
+                    for window in windows
+                ],
+            }
+        )
+
+    @staticmethod
+    def _limit(
+        items: list, params: dict[str, str]
+    ) -> tuple[list | None, bool]:
+        """Apply an optional ``limit=N`` parameter; ``(None, False)`` on a
+        malformed value."""
+        raw = params.get("limit")
+        if raw is None:
+            return items, False
+        try:
+            limit = int(raw)
+        except ValueError:
+            return None, False
+        if limit < 0:
+            return None, False
+        return items[:limit], len(items) > limit
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def cache_size(self) -> int:
+        """Number of live response-cache entries."""
+        return len(self._cache)

@@ -1,0 +1,65 @@
+"""Regression: non-finite floats must encode as JSON ``null``, never NaN.
+
+``json.dumps`` defaults to ``allow_nan=True`` and emits the bare tokens
+``NaN`` / ``Infinity`` — which are *not* JSON and break every strict
+consumer of ``repro report --json-out`` and the serve endpoints. The
+canonical encoder sanitizes non-finite floats to ``null`` everywhere a
+report value can surface (an empty histogram's percentile is
+``math.nan``, for example).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core import canonical_json, report_json
+
+
+def _reject_constants(token: str) -> None:
+    raise ValueError(f"non-JSON constant leaked into output: {token}")
+
+
+def test_canonical_json_renders_non_finite_as_null() -> None:
+    payload = {
+        "nan": math.nan,
+        "nested": {"inf": math.inf, "neg": -math.inf},
+        "listed": [1.0, math.nan, (math.inf,)],
+        "fine": 0.25,
+    }
+    text = canonical_json(payload)
+    decoded = json.loads(text, parse_constant=_reject_constants)
+    assert decoded["nan"] is None
+    assert decoded["nested"] == {"inf": None, "neg": None}
+    assert decoded["listed"] == [1.0, None, [None]]
+    assert decoded["fine"] == 0.25
+    # byte-level: canonical form, trailing newline, no bare constants
+    assert text.endswith("\n")
+    assert "NaN" not in text and "Infinity" not in text
+
+
+def test_canonical_json_is_sorted_and_compact() -> None:
+    assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}\n'
+
+
+def test_report_json_sanitizes_report_values() -> None:
+    """A report whose stats degenerate to NaN still emits valid JSON."""
+
+    class _DegenerateReport:
+        @staticmethod
+        def as_dict() -> dict:
+            return {"summary": {"rate": math.nan, "p99": math.inf}}
+
+    text = report_json(_DegenerateReport())
+    decoded = json.loads(text, parse_constant=_reject_constants)
+    assert decoded == {"summary": {"rate": None, "p99": None}}
+
+
+def test_plain_dumps_would_have_leaked_nan() -> None:
+    """Documents the failure mode the sanitizer exists for."""
+    leaked = json.dumps({"rate": math.nan})
+    assert "NaN" in leaked  # i.e. not JSON
+    with pytest.raises(ValueError):
+        json.loads(leaked, parse_constant=_reject_constants)

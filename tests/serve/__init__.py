@@ -1,0 +1,1 @@
+"""Tests for the resident query server (``repro serve``)."""

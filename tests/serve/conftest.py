@@ -1,0 +1,38 @@
+"""Serve-suite fixtures: one small crawled world, a fresh harness per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import ScenarioConfig, run_scenario
+
+from .harness import ServeHarness
+
+
+@pytest.fixture(scope="session")
+def serve_world():
+    """A small deterministic ecosystem shared by the whole suite."""
+    return run_scenario(ScenarioConfig(n_domains=60, seed=3))
+
+
+@pytest.fixture(scope="session")
+def serve_crawl(serve_world):
+    return serve_world.run_crawl()
+
+
+@pytest.fixture(scope="session")
+def serve_dataset(serve_crawl):
+    """The crawled dataset — read-only; mutation tests build their own."""
+    return serve_crawl[0]
+
+
+@pytest.fixture(scope="session")
+def serve_oracle(serve_world):
+    return serve_world.oracle
+
+
+@pytest.fixture()
+def harness(serve_dataset, serve_oracle):
+    """A started server over a fresh registry (zeroed counters)."""
+    with ServeHarness(serve_dataset, serve_oracle) as started:
+        yield started

@@ -1,0 +1,179 @@
+"""Query canonicalization properties and versioned-cache semantics.
+
+The hypothesis properties pin the cache-key contract from both sides:
+*equivalent* request spellings (parameter order, whitespace padding,
+redundant slashes, ENS name case) must map to one canonical key, and
+*non-equivalent* requests must never collide — including values that
+contain the ``&``, ``=``, ``/`` metacharacters the canonical text
+itself uses as separators.
+"""
+
+from __future__ import annotations
+
+import random
+from urllib.parse import urlencode
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.serve import QueryCache, canonical_query
+from repro.serve.query import (
+    CACHE_INVALIDATIONS_METRIC,
+    CACHE_REQUESTS_METRIC,
+    DOMAIN_PARAMS,
+)
+
+#: Keys that are plain parameters (never ENS-normalized).
+_plain_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+).filter(lambda key: key not in DOMAIN_PARAMS)
+
+#: Values that survive ``strip()`` unchanged (padding equivalence is
+#: tested separately) but may contain the canonical text's own
+#: metacharacters.
+_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789&=/%?+ .",
+    min_size=1,
+    max_size=12,
+).filter(lambda value: value == value.strip() and value)
+
+_param_lists = st.lists(
+    st.tuples(_plain_keys, _values), min_size=1, max_size=5
+)
+
+#: ASCII ENS labels (normalization is pure case folding for these).
+_labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=3, max_size=12
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_param_lists, seed=st.integers(0, 2**32 - 1))
+def test_parameter_order_is_irrelevant(params, seed) -> None:
+    shuffled = list(params)
+    random.Random(seed).shuffle(shuffled)
+    assert canonical_query("/query/dropcatch", urlencode(params)) == (
+        canonical_query("/query/dropcatch", urlencode(shuffled))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_param_lists)
+def test_padding_and_slashes_are_irrelevant(params) -> None:
+    reference = canonical_query("/query/dropcatch", urlencode(params))
+    padded = urlencode([(f" {key} ", f" {value} ") for key, value in params])
+    assert canonical_query("//query//dropcatch/", padded) == reference
+    assert canonical_query(" /query/dropcatch ", urlencode(params)) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(label=_labels)
+def test_domain_name_case_folds_into_one_key(label) -> None:
+    lower = canonical_query(f"/domain/{label}.eth")
+    assert canonical_query(f"/domain/{label.upper()}.ETH") == lower
+    by_param = canonical_query("/query/dropcatch", f"name={label}.eth")
+    assert canonical_query(
+        "/query/dropcatch", f"name={label.upper()}.ETH"
+    ) == by_param
+
+
+@settings(max_examples=100, deadline=None)
+@given(first=_param_lists, second=_param_lists)
+def test_non_equivalent_queries_never_collide(first, second) -> None:
+    if sorted(first) == sorted(second):
+        assert canonical_query("/q", urlencode(first)) == (
+            canonical_query("/q", urlencode(second))
+        )
+    else:
+        assert canonical_query("/q", urlencode(first)) != (
+            canonical_query("/q", urlencode(second))
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    key=_plain_keys,
+    left=_values,
+    tail_key=_plain_keys,
+    tail_value=_values,
+)
+def test_metacharacters_in_values_never_alias_structure(
+    key, left, tail_key, tail_value
+) -> None:
+    """A value containing ``&``/``=`` cannot impersonate extra params.
+
+    ``?key=left&tail_key=tail_value`` (two parameters) and
+    ``?key=<left&tail_key=tail_value>`` (one parameter whose *value*
+    contains the separator text, percent-encoded on the wire) must get
+    different cache keys — the regression that motivated re-encoding
+    the canonical text.
+    """
+    two_params = urlencode([(key, left), (tail_key, tail_value)])
+    one_param = urlencode([(key, f"{left}&{tail_key}={tail_value}")])
+    assert canonical_query("/q", two_params) != canonical_query("/q", one_param)
+
+
+def test_invalid_names_raise_not_cache() -> None:
+    from repro.chain.errors import InvalidName
+
+    with pytest.raises(InvalidName):
+        canonical_query("/domain/bad..name")
+    with pytest.raises(InvalidName):
+        canonical_query("/query/dropcatch", "name=bad..name")
+
+
+def test_cache_counts_hits_misses_and_invalidations() -> None:
+    registry = MetricsRegistry()
+    cache = QueryCache(registry)
+    token_a = (1, 10, 20, 0)
+
+    assert cache.lookup(token_a, "/report") is None
+    cache.store(token_a, "/report", "body-a")
+    assert cache.lookup(token_a, "/report") == "body-a"
+    assert len(cache) == 1
+
+    # a token move drops everything, counted once
+    token_b = (2, 11, 20, 0)
+    assert cache.lookup(token_b, "/report") is None
+    assert len(cache) == 0
+    assert registry.value(CACHE_INVALIDATIONS_METRIC) == 1.0
+    assert registry.value(CACHE_REQUESTS_METRIC, outcome="hit") == 1.0
+    assert registry.value(CACHE_REQUESTS_METRIC, outcome="miss") == 2.0
+
+    # a store under a stale token is dropped silently
+    cache.store(token_a, "/report", "stale")
+    assert cache.lookup(token_b, "/report") is None
+    assert len(cache) == 0
+
+
+def test_dataset_version_bump_invalidates_served_cache() -> None:
+    """End-to-end: mutate the dataset, the served cache drops at once."""
+    from repro.serve import ReproApp
+    from repro.simulation import ScenarioConfig, run_scenario
+
+    from tests.core.helpers import make_tx
+
+    world = run_scenario(ScenarioConfig(n_domains=25, seed=11))
+    dataset, _ = world.run_crawl()
+    registry = MetricsRegistry()
+    app = ReproApp(dataset, world.oracle, registry=registry)
+
+    first = app.handle("GET", "/report")
+    again = app.handle("GET", "/report")
+    assert first.status == again.status == 200
+    assert again.body == first.body
+    assert registry.value(CACHE_REQUESTS_METRIC, outcome="hit") == 1.0
+    assert registry.value(CACHE_INVALIDATIONS_METRIC) == 0.0
+
+    version_before = dataset.version
+    dataset.add_transactions([make_tx("0xmutator", "0xsink", day=900)])
+    assert dataset.version > version_before
+
+    refreshed = app.handle("GET", "/report")
+    assert refreshed.status == 200
+    assert registry.value(CACHE_INVALIDATIONS_METRIC) == 1.0
+    # the post-mutation request recomputed (a miss), not a stale hit
+    assert registry.value(CACHE_REQUESTS_METRIC, outcome="hit") == 1.0
+    assert registry.value(CACHE_REQUESTS_METRIC, outcome="miss") == 2.0

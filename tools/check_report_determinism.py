@@ -4,7 +4,8 @@ Usage::
 
     python tools/check_report_determinism.py \
         [--domains 120] [--seed 5] [--workers 1,4] [--stores object] \
-        [--golden tests/golden/report_digests.json] [--update-golden]
+        [--golden tests/golden/report_digests.json] [--update-golden] \
+        [--serve]
 
 Runs the full ``repro report`` pipeline (scenario crawl + analysis)
 once per (store, worker-count) pair through the real CLI entry point,
@@ -16,6 +17,12 @@ invisible in the results, not merely statistically close. With
 ``--stores object,columnar`` the whole matrix — every store at every
 worker count — must agree on one byte sequence and one golden digest;
 the golden key deliberately does not mention the store.
+
+With ``--serve`` the same scenario is additionally stood up behind the
+resident query server (:mod:`repro.serve`), once per store, and the
+``GET /report`` body fetched over real HTTP must equal the CLI bytes —
+the serving path (warm context, response cache, canonical encoder) must
+be invisible too, not merely the analysis.
 
 The agreed bytes are additionally hashed (SHA-256) and compared
 against a committed golden digest, which catches a subtler failure:
@@ -29,6 +36,8 @@ Exit codes (``2`` is left to argparse):
 * ``1`` — worker counts disagree (a nondeterministic merge).
 * ``3`` — consistent across workers but drifted from the golden.
 * ``4`` — golden file missing/unreadable (run ``--update-golden``).
+* ``5`` — a served ``/report`` body differs from the CLI bytes
+  (``--serve`` only).
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from pathlib import Path
 EXIT_WORKER_MISMATCH = 1
 EXIT_GOLDEN_DRIFT = 3
 EXIT_GOLDEN_MISSING = 4
+EXIT_SERVE_MISMATCH = 5
 
 DEFAULT_GOLDEN = Path(__file__).resolve().parent.parent / (
     "tests/golden/report_digests.json"
@@ -75,6 +85,44 @@ def scenario_key(domains: int, seed: int) -> str:
     return f"domains={domains},seed={seed}"
 
 
+def served_report(domains: int, seed: int, stores: list[str]) -> dict[str, bytes]:
+    """``GET /report`` bytes from a live server, one fetch per store.
+
+    Builds the scenario once in-process (exactly the CLI's build path),
+    then serves the object-graph dataset and, when requested, the
+    columnar conversion of the same records, each behind a real HTTP
+    listener on an ephemeral port.
+    """
+    from http.client import HTTPConnection
+
+    from repro.datasets import ColumnarDataset
+    from repro.serve import ReproApp, ReproServer
+    from repro.simulation import ScenarioConfig, run_scenario
+
+    world = run_scenario(ScenarioConfig(n_domains=domains, seed=seed))
+    dataset, _ = world.run_crawl()
+    datasets = {"object": dataset}
+    if "columnar" in stores:
+        datasets["columnar"] = ColumnarDataset.from_dataset(dataset)
+
+    bodies: dict[str, bytes] = {}
+    for store in stores:
+        app = ReproApp(datasets[store], world.oracle)
+        with ReproServer(app) as server:
+            conn = HTTPConnection(server.host, server.port, timeout=60)
+            try:
+                conn.request("GET", "/report")
+                response = conn.getresponse()
+                if response.status != 200:
+                    raise RuntimeError(
+                        f"served /report over {store} returned {response.status}"
+                    )
+                bodies[store] = response.read()
+            finally:
+                conn.close()
+    return bodies
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--domains", type=int, default=120)
@@ -100,6 +148,12 @@ def main(argv: list[str] | None = None) -> int:
         "--update-golden",
         action="store_true",
         help="rewrite the golden digest from this run instead of checking it",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also fetch /report from a live repro serve instance per store"
+        " and require byte identity with the CLI output",
     )
     args = parser.parse_args(argv)
     worker_counts = [int(part) for part in args.workers.split(",") if part]
@@ -134,6 +188,19 @@ def main(argv: list[str] | None = None) -> int:
         f"report byte-identical across stores={stores}"
         f" x workers={worker_counts}"
     )
+
+    if args.serve:
+        served = served_report(args.domains, args.seed, stores)
+        for store, body in served.items():
+            if body != reference:
+                print(
+                    f"\nFAIL: served /report over the {store} store"
+                    f" ({len(body)} bytes) differs from the CLI --json-out"
+                    f" bytes ({len(reference)} bytes) — the serving path is"
+                    " leaking into the report encoding"
+                )
+                return EXIT_SERVE_MISMATCH
+            print(f"served /report byte-identical to CLI (store={store})")
 
     digest = hashlib.sha256(reference).hexdigest()
     key = scenario_key(args.domains, args.seed)
