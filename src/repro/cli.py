@@ -247,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="listening port (0 picks an ephemeral port)",
     )
     serve.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll the dataset directory's deltas.jsonl and apply new"
+        " appends live (requires a dataset directory and the object"
+        " store)",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        metavar="SECONDS",
+        type=float,
+        default=0.5,
+        help="delta-log poll interval for --watch (default 0.5s)",
+    )
+    serve.add_argument(
         "--load-gen",
         metavar="N",
         type=int,
@@ -300,7 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_info.add_argument(
         "target", help="columnar file, or a dataset directory holding one"
     )
-    for subparser in (dataset_pack, dataset_info):
+    dataset_stream = dataset_sub.add_parser(
+        "stream",
+        help="incremental ingestion driver: write a scenario's first"
+        " batch as the base dataset, then append the remaining batches"
+        " to deltas.jsonl (a watching `repro serve --watch` picks each"
+        " one up live)",
+    )
+    dataset_stream.add_argument("--domains", type=int, default=300)
+    dataset_stream.add_argument("--seed", type=int, default=7)
+    dataset_stream.add_argument(
+        "--batches",
+        type=int,
+        default=8,
+        help="number of block-batches to slice the scenario into",
+    )
+    dataset_stream.add_argument(
+        "--out", required=True, help="output dataset directory"
+    )
+    dataset_stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous stream of the same scenario: skip the"
+        " deltas the directory's log already holds",
+    )
+    for subparser in (dataset_pack, dataset_info, dataset_stream):
         _add_obs_args(subparser)
 
     lint = subparsers.add_parser(
@@ -639,10 +677,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import ReproApp, ReproServer, run_load
+    from .serve import DatasetWatcher, ReproApp, ReproServer, run_load
 
     obs = _RunObservability(args)
     executor = resolve_executor(args.workers)
+    if args.watch and (args.dataset is None or args.store != "object"):
+        print(
+            "--watch requires a dataset directory and --store object"
+            " (deltas apply to the mutable object graph)",
+            file=sys.stderr,
+        )
+        return 2
     if args.dataset is not None:
         with obs.tracer.span("serve.load", store=args.store):
             dataset = load_dataset(
@@ -676,8 +721,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=executor,
     )
     server = ReproServer(app, host=args.host, port=args.port)
+    watcher = None
+    if args.watch:
+        watcher = DatasetWatcher(
+            app, args.dataset, poll_interval=args.watch_interval
+        )
     if args.load_gen is not None:
         server.start()
+        if watcher is not None:
+            watcher.start()
         print(f"serving on http://{server.address} (load-gen mode)")
         with obs.tracer.span(
             "serve.loadgen", clients=args.clients, requests=args.load_gen
@@ -689,13 +741,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 requests_per_client=args.load_gen,
                 registry=obs.registry,
             )
+        if watcher is not None:
+            watcher.stop()
         server.stop()
         for line in stats.lines():
             print(f"  {line}")
         obs.finish()
         return 1 if stats.errors else 0
-    print(f"serving on http://{server.address} (Ctrl-C to stop)")
-    server.serve_forever()
+    mode = "watching deltas.jsonl, " if watcher is not None else ""
+    print(f"serving on http://{server.address} ({mode}Ctrl-C to stop)")
+    if watcher is not None:
+        watcher.start()
+    try:
+        server.serve_forever()
+    finally:
+        if watcher is not None:
+            watcher.stop()
+    obs.finish()
+    return 0
+
+
+def _cmd_dataset_stream(
+    args: argparse.Namespace, obs: _RunObservability
+) -> int:
+    """``repro dataset stream``: base dataset + delta-log appends.
+
+    Writes batch 1 of the scenario as the base JSONL dataset and
+    appends batches 2..N as ``deltas.jsonl`` lines — the on-disk shape
+    ``repro serve --watch`` consumes live and ``load_dataset`` replays
+    on a cold start. ``--resume`` regenerates the (deterministic)
+    stream and appends only the batches the log does not hold yet, so a
+    driver killed mid-stream continues exactly where it stopped.
+    """
+    from .crawler.storage import append_delta, load_deltas, save_dataset
+    from .simulation import stream_scenario
+
+    with obs.tracer.span(
+        "dataset.stream", domains=args.domains, batches=args.batches
+    ):
+        stream = stream_scenario(
+            ScenarioConfig(n_domains=args.domains, seed=args.seed),
+            batches=args.batches,
+            registry=obs.registry,
+            tracer=obs.tracer,
+        )
+        done = 0
+        if args.resume:
+            from pathlib import Path
+
+            if not (Path(args.out) / "meta.json").is_file():
+                print(
+                    f"dataset stream: --resume but {args.out} holds no"
+                    " base dataset (run once without --resume first)",
+                    file=sys.stderr,
+                )
+                return 2
+            done = len(load_deltas(args.out))
+            if done > len(stream.deltas) - 1:
+                print(
+                    f"dataset stream: {args.out} already holds {done}"
+                    f" delta lines but this scenario only streams"
+                    f" {len(stream.deltas) - 1} — wrong --domains/--seed"
+                    f"/--batches?",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            base = stream.replay(1)
+            save_dataset(
+                base, args.out, registry=obs.registry, tracer=obs.tracer
+            )
+            print(
+                f"  base dataset ({len(base.domains)} domains,"
+                f" batch 1/{args.batches}) written to {args.out}"
+            )
+        appended = 0
+        for delta in stream.deltas[1 + done :]:
+            cursor = append_delta(args.out, delta)
+            appended += 1
+            _log.info(
+                "stream.delta_appended",
+                cursor=cursor,
+                label=delta.label,
+                records=delta.record_count,
+            )
+        final = stream.replay()
+        obs.dataset_fingerprint = dataset_digest(final)
+    skipped = f" (skipped {done} already streamed)" if done else ""
+    print(
+        f"  appended {appended} deltas to {args.out}/deltas.jsonl"
+        f"{skipped}"
+    )
+    print(f"  final dataset digest {obs.dataset_fingerprint}")
     obs.finish()
     return 0
 
@@ -710,6 +847,8 @@ def _format_bytes(count: float) -> str:
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
     obs = _RunObservability(args)
+    if args.dataset_command == "stream":
+        return _cmd_dataset_stream(args, obs)
     if args.dataset_command == "pack":
         with obs.tracer.span("dataset.pack"):
             path = pack_dataset(

@@ -8,7 +8,7 @@ from .authoritative import (
     authoritative_losses,
 )
 from .censoring import truncate_dataset
-from .context import AnalysisContext, OwnershipInterval, ScanAccess
+from .context import AnalysisContext, DeltaImpact, OwnershipInterval, ScanAccess
 from .descriptive import DatasetOverview, describe_dataset
 from .export import export_figures
 from .comparison import (
@@ -29,6 +29,7 @@ from .dropcatch import (
     summarize,
 )
 from .hijackable import HijackableReport, HijackableWindow, find_hijackable
+from .increport import IncrementalReportBuilder
 from .losses import LossReport, MisdirectedFlow, detect_losses
 from .prediction import (
     LogisticModel,
@@ -75,6 +76,8 @@ from .typosquat import (
 __all__ = [
     "ActorConcentration",
     "AnalysisContext",
+    "DeltaImpact",
+    "IncrementalReportBuilder",
     "OwnershipInterval",
     "ScanAccess",
     "AuthoritativeReport",

@@ -26,7 +26,10 @@ __all__ = [
     "FeatureComparison",
     "ComparisonRow",
     "compare_groups",
+    "compare_rows",
+    "feature_row_for",
     "feature_rows_for",
+    "studied_registrant",
 ]
 
 _NUMERIC_FEATURES = (
@@ -64,6 +67,48 @@ def _studied_registration(domain: DomainRecord) -> RegistrationRecord:
     return domain.registrations[-1]
 
 
+def studied_registrant(domain: DomainRecord) -> str:
+    """Wallet whose incoming history the domain's feature row reads."""
+    return _studied_registration(domain).registrant
+
+
+def feature_row_for(
+    dataset: ENSDataset,
+    domain: DomainRecord,
+    oracle: EthUsdOracle,
+    context: AnalysisContext | None = None,
+) -> DomainFeatureRow:
+    """Extract the full feature vector for one domain's studied period.
+
+    The per-domain unit of :func:`feature_rows_for`: it depends only on
+    the domain's registration history and the studied registrant's
+    *incoming* history (see :func:`studied_registrant`) — the dependency
+    set incremental rebuilds key their memo on.
+    """
+    registration = _studied_registration(domain)
+    transactional = extract_transactional(
+        dataset, registration, oracle, context=context
+    )
+    label = domain.label_name or ""
+    lexical = extract_lexical(label)
+    return DomainFeatureRow(
+        domain_id=domain.domain_id,
+        label=domain.label_name,
+        income_usd=transactional.income_usd,
+        num_unique_senders=transactional.num_unique_senders,
+        num_transactions=transactional.num_transactions,
+        length=lexical.length,
+        contains_digit=lexical.contains_digit,
+        is_numeric=lexical.is_numeric,
+        contains_dictionary_word=lexical.contains_dictionary_word,
+        is_dictionary_word=lexical.is_dictionary_word,
+        contains_brand_name=lexical.contains_brand_name,
+        contains_adult_word=lexical.contains_adult_word,
+        contains_hyphen=lexical.contains_hyphen,
+        contains_underscore=lexical.contains_underscore,
+    )
+
+
 def feature_rows_for(
     dataset: ENSDataset,
     domains: list[DomainRecord],
@@ -71,33 +116,10 @@ def feature_rows_for(
     context: AnalysisContext | None = None,
 ) -> list[DomainFeatureRow]:
     """Extract the full feature vector for every domain in a group."""
-    rows: list[DomainFeatureRow] = []
-    for domain in domains:
-        registration = _studied_registration(domain)
-        transactional = extract_transactional(
-            dataset, registration, oracle, context=context
-        )
-        label = domain.label_name or ""
-        lexical = extract_lexical(label)
-        rows.append(
-            DomainFeatureRow(
-                domain_id=domain.domain_id,
-                label=domain.label_name,
-                income_usd=transactional.income_usd,
-                num_unique_senders=transactional.num_unique_senders,
-                num_transactions=transactional.num_transactions,
-                length=lexical.length,
-                contains_digit=lexical.contains_digit,
-                is_numeric=lexical.is_numeric,
-                contains_dictionary_word=lexical.contains_dictionary_word,
-                is_dictionary_word=lexical.is_dictionary_word,
-                contains_brand_name=lexical.contains_brand_name,
-                contains_adult_word=lexical.contains_adult_word,
-                contains_hyphen=lexical.contains_hyphen,
-                contains_underscore=lexical.contains_underscore,
-            )
-        )
-    return rows
+    return [
+        feature_row_for(dataset, domain, oracle, context=context)
+        for domain in domains
+    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,6 +182,18 @@ def compare_groups(
     reregistered, control = study_groups(dataset, seed=seed, events=events)
     rereg_rows = feature_rows_for(dataset, reregistered, oracle, context=context)
     control_rows = feature_rows_for(dataset, control, oracle, context=context)
+    return compare_rows(rereg_rows, control_rows)
+
+
+def compare_rows(
+    rereg_rows: list[DomainFeatureRow],
+    control_rows: list[DomainFeatureRow],
+) -> FeatureComparison:
+    """Run the Table-1 statistics over pre-extracted feature rows.
+
+    Split from :func:`compare_groups` so incremental rebuilds can feed
+    memoized rows through the (cheap) statistical tail.
+    """
     testable = len(rereg_rows) >= 2 and len(control_rows) >= 2
 
     def _mean(values: list[float]) -> float:

@@ -43,10 +43,37 @@ if TYPE_CHECKING:
     from ..oracle.ethusd import EthUsdOracle
     from .dropcatch import ReRegistration
 
-__all__ = ["AnalysisContext", "OwnershipInterval", "ScanAccess"]
+__all__ = ["AnalysisContext", "DeltaImpact", "OwnershipInterval", "ScanAccess"]
 
 CACHE_REQUESTS_METRIC = "analysis_cache_requests_total"
 CACHE_INVALIDATIONS_METRIC = "analysis_cache_invalidations_total"
+DELTA_APPLIED_METRIC = "context_delta_applied_total"
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaImpact:
+    """What a batch of applied deltas touched, for downstream memo owners.
+
+    ``addresses`` are the wallets whose *incoming* history gained
+    transactions — the only transaction dependency any §4 analysis
+    reads through the context. ``domains`` are the ids whose records
+    were inserted or extended. ``market_changed`` flags new marketplace
+    events. Consumers that memoize per-item analysis results
+    (:class:`~repro.core.increport.IncrementalReportBuilder`) intersect
+    their stored dependency sets with these to find dirty items.
+    """
+
+    addresses: frozenset[str] = frozenset()
+    domains: frozenset[str] = frozenset()
+    market_changed: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when the deltas touched nothing (dataset unchanged)."""
+        return not (self.addresses or self.domains or self.market_changed)
+
+
+_EMPTY_IMPACT = DeltaImpact()
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,8 +127,15 @@ class AnalysisContext:
             CACHE_INVALIDATIONS_METRIC,
             "Times the AnalysisContext dropped its caches on dataset mutation",
         )
+        self._delta_applied = self._registry.counter(
+            DELTA_APPLIED_METRIC,
+            "Dataset deltas the AnalysisContext applied in place (O(delta))"
+            " instead of dropping every cache",
+        )
         self._fingerprint: tuple[int, int, int, int] | None = None
+        self._cursor: int = 0
         self._events: "list[ReRegistration] | None" = None
+        self._events_by_domain: "dict[str, tuple[ReRegistration, ...]] | None" = None
         self._intervals: dict[str, tuple[OwnershipInterval, ...]] = {}
         self._incoming: dict[str, tuple[list[TxRecord], list[int]]] = {}
         self._payments: dict[str, dict[str, list[TxRecord]]] = {}
@@ -119,30 +153,165 @@ class AnalysisContext:
             len(dataset.market_events),
         )
 
-    def _ensure_fresh(self) -> None:
-        fingerprint = self._current_fingerprint()
-        if fingerprint == self._fingerprint:
-            return
+    def _invalidate(self, fingerprint: tuple[int, int, int, int]) -> None:
+        """Drop every cache (the non-delta mutation path)."""
         if self._fingerprint is not None:
             self._invalidations.inc()
         self._fingerprint = fingerprint
+        self._cursor = getattr(self.dataset, "delta_cursor", 0)
         self._events = None
+        self._events_by_domain = None
         self._intervals.clear()
         self._incoming.clear()
         self._payments.clear()
         self._tx_order = None
         self._event_order = None
 
+    def sync(self) -> DeltaImpact | None:
+        """Bring every cache up to the live dataset state.
+
+        Three outcomes:
+
+        * the dataset did not move — returns an empty
+          :class:`DeltaImpact` and touches nothing;
+        * the dataset moved *only* through logged deltas
+          (:meth:`~repro.datasets.dataset.ENSDataset.apply_delta`) —
+          patches the bisect vectors, per-address windows, rereg-event
+          memo, and interval cache in O(delta) and returns the
+          accumulated :class:`DeltaImpact` (counted in
+          ``context_delta_applied_total``);
+        * the chain is broken (out-of-band mutation, columnar store,
+          consumer older than the retained log) — drops every cache
+          like the classic invalidation path and returns ``None``.
+
+        Every query method calls this, so the delta path is transparent
+        to existing callers; delta-aware consumers call it directly to
+        learn what changed.
+        """
+        fingerprint = self._current_fingerprint()
+        if fingerprint == self._fingerprint:
+            return _EMPTY_IMPACT
+        entries = None
+        if self._fingerprint is not None:
+            deltas_since = getattr(self.dataset, "deltas_since", None)
+            if deltas_since is not None:
+                entries = deltas_since(self._cursor, self._fingerprint[0])
+        if not entries:
+            self._invalidate(fingerprint)
+            return None
+        impact = self._apply_entries(entries)
+        self._fingerprint = fingerprint
+        self._cursor = entries[-1].cursor
+        self._delta_applied.inc(len(entries))
+        return impact
+
+    def _apply_entries(self, entries: tuple) -> DeltaImpact:
+        """Patch every live cache with the chain's records, in order."""
+        from .dropcatch import iter_reregistrations
+
+        assert self._fingerprint is not None
+        addresses: set[str] = set()
+        touched_domains: set[str] = set()
+        market_changed = False
+        tx_index = self._fingerprint[2]
+        event_index = self._fingerprint[3]
+        for applied in entries:
+            delta = applied.delta
+            for tx in delta.transactions:
+                if not tx.is_error:
+                    addresses.add(tx.to_address)
+                    entry = self._incoming.get(tx.to_address)
+                    if entry is not None:
+                        # Appended records come after every equal
+                        # timestamp already present (stable-sort order),
+                        # so bisect_right lands them exactly where a
+                        # rebuild would.
+                        txs, stamps = entry
+                        position = bisect_right(stamps, tx.timestamp)
+                        txs.insert(position, tx)
+                        stamps.insert(position, tx.timestamp)
+                if self._tx_order is not None:
+                    order, stamps = self._tx_order
+                    position = bisect_right(stamps, tx.timestamp)
+                    order.insert(position, tx_index)
+                    stamps.insert(position, tx.timestamp)
+                tx_index += 1
+            for event in delta.market_events:
+                market_changed = True
+                if self._event_order is not None:
+                    order, stamps = self._event_order
+                    position = bisect_right(stamps, event.timestamp)
+                    order.insert(position, event_index)
+                    stamps.insert(position, event.timestamp)
+                event_index += 1
+            for record in delta.domains:
+                touched_domains.add(record.domain_id)
+                self._intervals.pop(record.domain_id, None)
+        for address in addresses:
+            self._payments.pop(address, None)
+        if touched_domains and self._events is not None:
+            self._refresh_events(touched_domains, iter_reregistrations)
+        return DeltaImpact(
+            addresses=frozenset(addresses),
+            domains=frozenset(touched_domains),
+            market_changed=market_changed,
+        )
+
+    def _refresh_events(self, touched: set[str], iter_events) -> None:
+        """Recompute the rereg events of ``touched`` domains only.
+
+        The flat event list is rebuilt (in domain insertion order) only
+        when some touched domain's event tuple actually changed value —
+        otherwise ``self._events`` keeps its *object identity*, which is
+        the contract delta-aware consumers use to detect "the event list
+        is exactly what I saw last time" without comparing values.
+        """
+        assert self._events_by_domain is not None
+        changed = False
+        for domain_id in sorted(touched):
+            record = self.dataset.domains.get(domain_id)
+            new = tuple(iter_events(record)) if record is not None else ()
+            old = self._events_by_domain.get(domain_id, ())
+            if new != old:
+                changed = True
+                if new:
+                    self._events_by_domain[domain_id] = new
+                else:
+                    self._events_by_domain.pop(domain_id, None)
+        if changed:
+            by_domain = self._events_by_domain
+            self._events = [
+                event
+                for domain in self.dataset.iter_domains()
+                for event in by_domain.get(domain.domain_id, ())
+            ]
+
+    def _ensure_fresh(self) -> None:
+        self.sync()
+
     # -- derived artifacts -------------------------------------------------
 
     def reregistrations(self) -> "list[ReRegistration]":
-        """The dataset's dropcatch events, memoized (domain order)."""
+        """The dataset's dropcatch events, memoized (domain order).
+
+        The returned list object is *identity-stable*: it is replaced
+        only when the event list's value changes (or on a full
+        invalidation), never gratuitously — incremental consumers rely
+        on ``events is previous_events`` as a cheap no-change check.
+        """
         from .dropcatch import find_reregistrations
 
         self._ensure_fresh()
         if self._events is None:
             self._miss["events"].inc()
             self._events = find_reregistrations(self.dataset)
+            by_domain: dict[str, list] = {}
+            for event in self._events:
+                by_domain.setdefault(event.domain_id, []).append(event)
+            self._events_by_domain = {
+                domain_id: tuple(events)
+                for domain_id, events in by_domain.items()
+            }
         else:
             self._hit["events"].inc()
         return self._events

@@ -13,12 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
-from ..datasets.schema import TxRecord
+from ..datasets.schema import DomainRecord, TxRecord
 from ..ens.premium import GRACE_PERIOD_DAYS
 from ..oracle.ethusd import EthUsdOracle
 from .context import AnalysisContext
 
-__all__ = ["HijackableWindow", "HijackableReport", "find_hijackable"]
+__all__ = [
+    "HijackableWindow",
+    "HijackableReport",
+    "domain_windows",
+    "find_hijackable",
+]
 
 _GRACE_SECONDS = GRACE_PERIOD_DAYS * 86_400
 
@@ -81,38 +86,64 @@ def find_hijackable(
     cutoff = dataset.crawl_timestamp
     windows: list[HijackableWindow] = []
     for domain in dataset.iter_domains():
-        for interval in access.ownership_intervals(domain.domain_id):
-            release = interval.end + _GRACE_SECONDS
-            window_end = (
-                interval.next_start if interval.next_start is not None else cutoff
+        windows.extend(
+            domain_windows(
+                domain,
+                access,
+                cutoff=cutoff,
+                require_prior_relationship=require_prior_relationship,
             )
-            if window_end <= release:
-                continue
-            wallet = interval.registrant
-            if require_prior_relationship:
-                prior_senders = access.senders_in_window(
-                    wallet, interval.start, interval.end, positive_only=False
-                )
-            # release is exclusive: with integer timestamps, ts > release
-            # is the closed window starting at release + 1
-            exposed = tuple(
-                tx
-                for tx in access.incoming_window(wallet, release + 1, window_end)
-                if tx.value_wei > 0
-                and (
-                    not require_prior_relationship
-                    or tx.from_address in prior_senders
-                )
-            )
-            if exposed:
-                windows.append(
-                    HijackableWindow(
-                        domain_id=domain.domain_id,
-                        name=domain.name,
-                        wallet=wallet,
-                        window_start=release,
-                        window_end=window_end,
-                        txs=exposed,
-                    )
-                )
+        )
     return HijackableReport(windows=windows, oracle=oracle)
+
+
+def domain_windows(
+    domain: DomainRecord,
+    access: AnalysisContext,
+    *,
+    cutoff: int,
+    require_prior_relationship: bool = True,
+) -> list[HijackableWindow]:
+    """One domain's hijackable windows, in interval order.
+
+    The per-domain unit of :func:`find_hijackable`: its result depends
+    only on the domain's registration history, the crawl cutoff, and
+    the *incoming* histories of the interval registrants — the
+    dependency set incremental rebuilds key their memo on.
+    """
+    windows: list[HijackableWindow] = []
+    for interval in access.ownership_intervals(domain.domain_id):
+        release = interval.end + _GRACE_SECONDS
+        window_end = (
+            interval.next_start if interval.next_start is not None else cutoff
+        )
+        if window_end <= release:
+            continue
+        wallet = interval.registrant
+        if require_prior_relationship:
+            prior_senders = access.senders_in_window(
+                wallet, interval.start, interval.end, positive_only=False
+            )
+        # release is exclusive: with integer timestamps, ts > release
+        # is the closed window starting at release + 1
+        exposed = tuple(
+            tx
+            for tx in access.incoming_window(wallet, release + 1, window_end)
+            if tx.value_wei > 0
+            and (
+                not require_prior_relationship
+                or tx.from_address in prior_senders
+            )
+        )
+        if exposed:
+            windows.append(
+                HijackableWindow(
+                    domain_id=domain.domain_id,
+                    name=domain.name,
+                    wallet=wallet,
+                    window_start=release,
+                    window_end=window_end,
+                    txs=exposed,
+                )
+            )
+    return windows

@@ -1,0 +1,461 @@
+"""Incremental headline reports: O(delta) refresh, cold-rebuild bytes.
+
+:class:`IncrementalReportBuilder` owns a long-lived
+:class:`~repro.core.context.AnalysisContext` plus per-item memos for
+every §4 pass, and re-derives a :class:`~repro.core.report.HeadlineReport`
+after each batch of dataset deltas by recomputing only the items whose
+dependency sets intersect the :class:`~repro.core.context.DeltaImpact`
+the context reports from :meth:`sync`.
+
+The memo units are the per-item functions the passes were refactored
+around, each a pure function of an explicit dependency set:
+
+* ``losses`` — :func:`~repro.core.losses.event_flows` per dropcatch
+  event (deps: the event value, the owners' incoming histories);
+* ``hijackable`` — :func:`~repro.core.hijackable.domain_windows` per
+  domain (deps: the registration history, interval registrants'
+  incoming histories);
+* ``comparison`` — :func:`~repro.core.comparison.feature_row_for` per
+  group member (deps: the registration history, the studied
+  registrant's incoming history), with group membership and the
+  statistical tail re-run only when it could move;
+* ``typosquat`` — :func:`~repro.core.typosquat.target_income` per
+  domain and :func:`~repro.core.typosquat.screen_event` per event (the
+  screening memo is valid only against one target table, so it is
+  dropped whenever the table's *value* changes).
+
+Dirtiness is conservative: any item whose dependency set merely *might*
+have changed is recomputed, so every refresh is byte-identical to a
+cold :func:`~repro.core.report.build_report` over the same dataset —
+the invariant the ``incremental-determinism`` CI job locks down. When
+the context cannot link the dataset's delta chain (out-of-band
+mutation, a store without a delta log), the builder falls back to a
+full rebuild through the same memo-filling code path: correctness
+never depends on callers using the delta API, only speed does.
+
+The crawl cutoff (``dataset.crawl_timestamp``) is treated as fixed
+between full rebuilds — streamed scenarios carry the final crawl
+timestamp from the first batch, and any out-of-band change to it bumps
+the dataset version, which breaks the delta chain and forces the full
+rebuild anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
+from ..oracle.ethusd import EthUsdOracle
+from .actors import actor_concentration
+from .comparison import (
+    DomainFeatureRow,
+    compare_rows,
+    feature_row_for,
+    studied_registrant,
+)
+from .context import AnalysisContext, DeltaImpact
+from .control import study_groups
+from .dropcatch import ReRegistration, summarize
+from .hijackable import HijackableReport, HijackableWindow, domain_windows
+from .losses import LossReport, MisdirectedFlow, event_flows
+from .profit import analyze_profit
+from .report import HeadlineReport, _publish_gauges
+from .resale import analyze_resale
+from .timing import delay_distribution
+from .typosquat import (
+    TyposquatCandidate,
+    TyposquatReport,
+    screen_event,
+    target_income,
+)
+
+__all__ = ["IncrementalReportBuilder"]
+
+#: ``find_typosquat_catches`` defaults, mirrored so the memoized path
+#: reproduces the report-path parameters exactly.
+_MIN_TARGET_INCOME_USD = 10_000.0
+_MAX_DISTANCE = 1
+_EXCLUDE_NUMERIC_PAIRS = True
+
+#: Full-rebuild impact sentinel: with ``None`` every dirty predicate
+#: answers "recompute" and every memo has already been dropped.
+_FULL = None
+
+
+class IncrementalReportBuilder:
+    """Delta-aware report builder with per-item memoization.
+
+    Build one per live dataset, call :meth:`refresh` after every batch
+    of :meth:`~repro.datasets.dataset.ENSDataset.apply_delta` calls (or
+    cold, to populate the memos); each call returns a report whose
+    canonical JSON is byte-identical to a cold rebuild at that state.
+    """
+
+    def __init__(
+        self,
+        dataset: ENSDataset,
+        oracle: EthUsdOracle,
+        seed: int = 0,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        context: AnalysisContext | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.oracle = oracle
+        self.seed = seed
+        self._registry = registry
+        self._tracer = tracer if tracer is not None else Tracer(registry=registry)
+        self.context = (
+            context
+            if context is not None
+            else AnalysisContext(dataset, oracle, registry=registry)
+        )
+        self._report: HeadlineReport | None = None
+        self._last_events: list[ReRegistration] | None = None
+        # losses: include_coinbase variant -> event -> flows
+        self._flow_memo: dict[bool, dict[ReRegistration, list[MisdirectedFlow]]]
+        self._flow_memo = {True: {}, False: {}}
+        # hijackable: domain_id -> (dep addresses, windows)
+        self._window_memo: dict[
+            str, tuple[frozenset[str], list[HijackableWindow]]
+        ] = {}
+        # comparison: group ids + domain_id -> (dep address, row)
+        self._groups: tuple[list[str], list[str]] | None = None
+        self._row_memo: dict[str, tuple[str, DomainFeatureRow]] = {}
+        # typosquat: domain_id -> (dep address | None, income | None),
+        # the derived target table, and the per-event screen memo that
+        # is only valid against exactly that table.
+        self._income_memo: dict[str, tuple[str | None, float | None]] = {}
+        self._target_rows: list[tuple[str, float, bool]] | None = None
+        self._screen_memo: dict[ReRegistration, TyposquatCandidate | None] = {}
+
+    def _reset_memos(self) -> None:
+        """Drop every memo (full-rebuild fallback path)."""
+        self._report = None
+        self._last_events = None
+        self._flow_memo = {True: {}, False: {}}
+        self._window_memo.clear()
+        self._groups = None
+        self._row_memo.clear()
+        self._income_memo.clear()
+        self._target_rows = None
+        self._screen_memo.clear()
+
+    # -- refresh -----------------------------------------------------------
+
+    def refresh(self) -> HeadlineReport:
+        """Bring the report up to the live dataset state.
+
+        O(delta + dirty items) when the dataset moved through logged
+        deltas; a full (memo-repopulating) rebuild otherwise. Runs
+        under a ``delta.apply`` tracer span either way.
+        """
+        with self._tracer.span("delta.apply") as span:
+            impact = self.context.sync()
+            if impact is None or self._report is None:
+                self._reset_memos()
+                impact = _FULL
+            elif impact.empty:
+                span.attributes["mode"] = "noop"
+                return self._report
+            report = self._rebuild(impact)
+            span.attributes["mode"] = (
+                "incremental" if impact is not _FULL else "full"
+            )
+        self._report = report
+        events = self._last_events if self._last_events is not None else []
+        _publish_gauges(self._registry, len(events), report)
+        return report
+
+    def _rebuild(self, impact: DeltaImpact | None) -> HeadlineReport:
+        """Recompute the dirty passes, reuse the rest by reference."""
+        events = self.context.reregistrations()
+        events_changed = events is not self._last_events
+        previous = self._report
+        fields: dict[str, Any] = {}
+        fields.update(self._overview(impact, events, events_changed, previous))
+        fields.update(self._comparison(impact, events, events_changed, previous))
+        fields.update(self._losses(impact, events, events_changed, previous))
+        fields.update(self._hijackable(impact, previous))
+        fields.update(self._typosquat(impact, events, events_changed, previous))
+        self._last_events = events
+        return HeadlineReport(**fields)
+
+    # -- pass groups -------------------------------------------------------
+
+    def _overview(
+        self,
+        impact: DeltaImpact | None,
+        events: list[ReRegistration],
+        events_changed: bool,
+        previous: HeadlineReport | None,
+    ) -> dict[str, Any]:
+        """Summary/delays/actors/resale — cheap, recomputed when touched.
+
+        Deps: the domain records and event list (all four), plus the
+        marketplace events (resale only) — a pure-transaction delta
+        skips the whole group.
+        """
+        dirty = (
+            impact is _FULL
+            or events_changed
+            or impact.domains
+            or impact.market_changed
+        )
+        if not dirty and previous is not None:
+            return {
+                "summary": previous.summary,
+                "delays": previous.delays,
+                "actors": previous.actors,
+                "resale": previous.resale,
+            }
+        return {
+            "summary": summarize(self.dataset, events=events),
+            "delays": delay_distribution(self.dataset, events=events),
+            "actors": actor_concentration(self.dataset, events=events),
+            "resale": analyze_resale(self.dataset, self.oracle, events=events),
+        }
+
+    def _comparison(
+        self,
+        impact: DeltaImpact | None,
+        events: list[ReRegistration],
+        events_changed: bool,
+        previous: HeadlineReport | None,
+    ) -> dict[str, Any]:
+        """Table 1 — memoized per-member feature rows, cheap stats tail.
+
+        Rows are memoized for group members only, so the memo must be
+        evicted against *every* impact — a domain can leave the control
+        sample, have its registrant's history change while out, and be
+        sampled back in later; checking only current members would
+        serve its stale row.
+        """
+        if impact is not _FULL:
+            stale = [
+                domain_id
+                for domain_id, (dep, _) in self._row_memo.items()
+                if domain_id in impact.domains or dep in impact.addresses
+            ]
+            for domain_id in stale:
+                del self._row_memo[domain_id]
+        groups_dirty = (
+            impact is _FULL
+            or events_changed
+            or impact.domains
+            or self._groups is None
+        )
+        if groups_dirty:
+            reregistered, control = study_groups(
+                self.dataset, seed=self.seed, events=events
+            )
+            self._groups = (
+                [domain.domain_id for domain in reregistered],
+                [domain.domain_id for domain in control],
+            )
+        rereg_ids, control_ids = self._groups
+        dirty_ids = [
+            domain_id
+            for domain_id in (*rereg_ids, *control_ids)
+            if domain_id not in self._row_memo
+        ]
+        if not (groups_dirty or dirty_ids) and previous is not None:
+            return {"comparison": previous.comparison}
+        for domain_id in dirty_ids:
+            domain = self.dataset.domains[domain_id]
+            row = feature_row_for(
+                self.dataset, domain, self.oracle, context=self.context
+            )
+            self._row_memo[domain_id] = (studied_registrant(domain), row)
+        rereg_rows = [self._row_memo[domain_id][1] for domain_id in rereg_ids]
+        control_rows = [self._row_memo[domain_id][1] for domain_id in control_ids]
+        return {"comparison": compare_rows(rereg_rows, control_rows)}
+
+    def _losses(
+        self,
+        impact: DeltaImpact | None,
+        events: list[ReRegistration],
+        events_changed: bool,
+        previous: HeadlineReport | None,
+    ) -> dict[str, Any]:
+        """Both loss variants plus profit — memoized per-event flows."""
+
+        def _event_dirty(event: ReRegistration, memo: dict) -> bool:
+            if event not in memo:
+                return True
+            if impact is _FULL:
+                return True
+            return (
+                event.previous_owner in impact.addresses
+                or event.new_owner in impact.addresses
+            )
+
+        cutoff = self.dataset.crawl_timestamp or None
+        any_dirty = False
+        for include_coinbase in (True, False):
+            memo = self._flow_memo[include_coinbase]
+            for event in events:
+                if _event_dirty(event, memo):
+                    any_dirty = True
+                    memo[event] = event_flows(
+                        event,
+                        self.dataset,
+                        self.context,
+                        include_coinbase=include_coinbase,
+                        cutoff=cutoff,
+                    )
+        if not (any_dirty or events_changed) and previous is not None:
+            return {
+                "losses_with_coinbase": previous.losses_with_coinbase,
+                "losses_noncustodial": previous.losses_noncustodial,
+                "profit": previous.profit,
+            }
+        reports: dict[bool, LossReport] = {}
+        for include_coinbase in (True, False):
+            memo = self._flow_memo[include_coinbase]
+            reports[include_coinbase] = LossReport(
+                flows=[flow for event in events for flow in memo[event]],
+                oracle=self.oracle,
+                include_coinbase=include_coinbase,
+            )
+        return {
+            "losses_with_coinbase": reports[True],
+            "losses_noncustodial": reports[False],
+            "profit": analyze_profit(
+                self.dataset,
+                self.oracle,
+                losses=reports[True],
+                events=events,
+                context=self.context,
+            ),
+        }
+
+    def _hijackable(
+        self, impact: DeltaImpact | None, previous: HeadlineReport | None
+    ) -> dict[str, Any]:
+        """Figure 7 — memoized per-domain exposure windows."""
+
+        def _domain_dirty(domain: DomainRecord) -> bool:
+            cached = self._window_memo.get(domain.domain_id)
+            if cached is None:
+                return True
+            if impact is _FULL:
+                return True
+            deps, _ = cached
+            return (
+                domain.domain_id in impact.domains
+                or not deps.isdisjoint(impact.addresses)
+            )
+
+        cutoff = self.dataset.crawl_timestamp
+        any_dirty = False
+        for domain in self.dataset.iter_domains():
+            if _domain_dirty(domain):
+                any_dirty = True
+                deps = frozenset(
+                    registration.registrant
+                    for registration in domain.registrations
+                )
+                self._window_memo[domain.domain_id] = (
+                    deps,
+                    domain_windows(domain, self.context, cutoff=cutoff),
+                )
+        if not any_dirty and previous is not None:
+            return {"hijackable": previous.hijackable}
+        windows = [
+            window
+            for domain in self.dataset.iter_domains()
+            for window in self._window_memo[domain.domain_id][1]
+        ]
+        return {
+            "hijackable": HijackableReport(windows=windows, oracle=self.oracle)
+        }
+
+    def _typosquat(
+        self,
+        impact: DeltaImpact | None,
+        events: list[ReRegistration],
+        events_changed: bool,
+        previous: HeadlineReport | None,
+    ) -> dict[str, Any]:
+        """Typosquat screen — per-domain incomes, per-event matches.
+
+        The screening memo caches "event X matched target row Y" and is
+        valid only against one target table, so it survives a refresh
+        only when the recomputed table is value-equal to the previous
+        one (e.g. an income moved but stayed on the same side of the
+        popularity threshold).
+        """
+
+        def _income_dirty(domain: DomainRecord) -> bool:
+            cached = self._income_memo.get(domain.domain_id)
+            if cached is None:
+                return True
+            if impact is _FULL:
+                return True
+            dep, _ = cached
+            return (
+                domain.domain_id in impact.domains
+                or (dep is not None and dep in impact.addresses)
+            )
+
+        incomes_dirty = False
+        for domain in self.dataset.iter_domains():
+            if _income_dirty(domain):
+                incomes_dirty = True
+                registrations = domain.registrations
+                dep = registrations[0].registrant if registrations else None
+                self._income_memo[domain.domain_id] = (
+                    dep,
+                    target_income(
+                        self.dataset, domain, self.oracle, self.context
+                    ),
+                )
+        table_changed = False
+        if incomes_dirty or self._target_rows is None:
+            # Replicate find_typosquat_catches exactly: a dict keyed by
+            # label (insertion order = first qualifying domain, value =
+            # LAST qualifying domain's income), then the hoisted rows.
+            targets: dict[str, float] = {}
+            for domain in self.dataset.iter_domains():
+                income = self._income_memo[domain.domain_id][1]
+                if income is not None and income >= _MIN_TARGET_INCOME_USD:
+                    targets[domain.label_name] = income
+            target_rows = [
+                (label, income, label.isdigit())
+                for label, income in targets.items()
+            ]
+            if target_rows != self._target_rows:
+                table_changed = True
+                self._target_rows = target_rows
+                self._screen_memo.clear()
+        assert self._target_rows is not None
+        if not (table_changed or events_changed) and previous is not None:
+            return {"typosquat": previous.typosquat}
+        candidates: list[TyposquatCandidate] = []
+        screened = 0
+        for event in events:
+            if event.name is None:
+                continue
+            screened += 1
+            if event not in self._screen_memo:
+                self._screen_memo[event] = screen_event(
+                    event,
+                    self._target_rows,
+                    max_distance=_MAX_DISTANCE,
+                    exclude_numeric_pairs=_EXCLUDE_NUMERIC_PAIRS,
+                )
+            candidate = self._screen_memo[event]
+            if candidate is not None:
+                candidates.append(candidate)
+        return {
+            "typosquat": TyposquatReport(
+                candidates=tuple(candidates),
+                catches_screened=screened,
+                popular_targets=len(self._target_rows),
+            )
+        }

@@ -28,7 +28,7 @@ from ..oracle.ethusd import EthUsdOracle
 from .context import AnalysisContext
 from .dropcatch import ReRegistration
 
-__all__ = ["MisdirectedFlow", "LossReport", "detect_losses"]
+__all__ = ["MisdirectedFlow", "LossReport", "detect_losses", "event_flows"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,54 +140,86 @@ def detect_losses(
     cutoff = dataset.crawl_timestamp or None
     flows: list[MisdirectedFlow] = []
     for event in events:
-        a1, a2 = event.previous_owner, event.new_owner
-        if a1 == a2:
-            continue
-        hold_start = event.next.registration_date
-        hold_end = event.next.expiry_date
-        if cutoff is not None:
-            hold_end = min(hold_end, cutoff)
-        senders_to_a2 = access.senders_in_window(a2, hold_start, hold_end)
-        for candidate in sorted(senders_to_a2):
-            if candidate in (a1, a2):
-                continue
-            if candidate in dataset.custodial_addresses:
-                continue  # non-Coinbase custodial: always filtered
-            is_coinbase = candidate in dataset.coinbase_addresses
-            if is_coinbase and not include_coinbase:
-                continue
-            c_to_a2 = access.payments(candidate, a2)
-            # condition 3: no payments to a2 outside its holding window
-            if (
-                c_to_a2[0].timestamp < hold_start
-                or c_to_a2[-1].timestamp > hold_end
-            ):
-                continue
-            c_to_a1 = access.payments(candidate, a1)
-            if not c_to_a1:
-                continue
-            # condition 1: a payment during a1's actual ownership
-            if require_prior_relationship and not any(
-                event.previous.registration_date
-                <= tx.timestamp
-                <= event.previous.expiry_date
-                for tx in c_to_a1
-            ):
-                continue
-            first_to_a2 = c_to_a2[0].timestamp
-            # condition 2: never again to a1
-            if enforce_never_again and c_to_a1[-1].timestamp >= first_to_a2:
-                continue
-            flows.append(
-                MisdirectedFlow(
-                    domain_id=event.domain_id,
-                    name=event.name,
-                    previous_owner=a1,
-                    new_owner=a2,
-                    sender=candidate,
-                    sender_is_coinbase=is_coinbase,
-                    txs_to_previous=len(c_to_a1),
-                    txs_to_new=tuple(c_to_a2),
-                )
+        flows.extend(
+            event_flows(
+                event,
+                dataset,
+                access,
+                include_coinbase=include_coinbase,
+                cutoff=cutoff,
+                require_prior_relationship=require_prior_relationship,
+                enforce_never_again=enforce_never_again,
             )
+        )
     return LossReport(flows=flows, oracle=oracle, include_coinbase=include_coinbase)
+
+
+def event_flows(
+    event: ReRegistration,
+    dataset: ENSDataset,
+    access: AnalysisContext,
+    *,
+    include_coinbase: bool,
+    cutoff: int | None,
+    require_prior_relationship: bool = True,
+    enforce_never_again: bool = True,
+) -> list[MisdirectedFlow]:
+    """The misdirected flows of one dropcatch event, in sender order.
+
+    The per-event unit of :func:`detect_losses`: its result depends
+    only on the event itself, the custodial label sets, and the
+    *incoming* histories of ``previous_owner``/``new_owner`` — the
+    dependency set incremental rebuilds key their memo on.
+    """
+    a1, a2 = event.previous_owner, event.new_owner
+    if a1 == a2:
+        return []
+    hold_start = event.next.registration_date
+    hold_end = event.next.expiry_date
+    if cutoff is not None:
+        hold_end = min(hold_end, cutoff)
+    flows: list[MisdirectedFlow] = []
+    senders_to_a2 = access.senders_in_window(a2, hold_start, hold_end)
+    for candidate in sorted(senders_to_a2):
+        if candidate in (a1, a2):
+            continue
+        if candidate in dataset.custodial_addresses:
+            continue  # non-Coinbase custodial: always filtered
+        is_coinbase = candidate in dataset.coinbase_addresses
+        if is_coinbase and not include_coinbase:
+            continue
+        c_to_a2 = access.payments(candidate, a2)
+        # condition 3: no payments to a2 outside its holding window
+        if (
+            c_to_a2[0].timestamp < hold_start
+            or c_to_a2[-1].timestamp > hold_end
+        ):
+            continue
+        c_to_a1 = access.payments(candidate, a1)
+        if not c_to_a1:
+            continue
+        # condition 1: a payment during a1's actual ownership
+        if require_prior_relationship and not any(
+            event.previous.registration_date
+            <= tx.timestamp
+            <= event.previous.expiry_date
+            for tx in c_to_a1
+        ):
+            continue
+        first_to_a2 = c_to_a2[0].timestamp
+        # condition 2: never again to a1
+        if enforce_never_again and c_to_a1[-1].timestamp >= first_to_a2:
+            continue
+        flows.append(
+            MisdirectedFlow(
+                domain_id=event.domain_id,
+                name=event.name,
+                previous_owner=a1,
+                new_owner=a2,
+                sender=candidate,
+                sender_is_coinbase=is_coinbase,
+                txs_to_previous=len(c_to_a1),
+                txs_to_new=tuple(c_to_a2),
+            )
+        )
+    return flows

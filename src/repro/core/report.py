@@ -368,6 +368,7 @@ def build_report(
     tracer: Tracer | None = None,
     context: AnalysisContext | None = None,
     executor: ParallelExecutor | None = None,
+    incremental: Any | None = None,
 ) -> HeadlineReport:
     """Run every analysis once over a shared analysis index.
 
@@ -379,7 +380,19 @@ def build_report(
     An ``executor`` with more than one worker fans the pass groups out
     over the process pool; results merge in canonical group order, so
     the report is identical to the serial run.
+
+    ``incremental`` accepts an
+    :class:`~repro.core.increport.IncrementalReportBuilder` bound to
+    ``dataset`` and delegates to its delta-aware refresh — O(delta +
+    dirty items) when the dataset moved through logged deltas, a full
+    rebuild otherwise, byte-identical output either way.
     """
+    if incremental is not None:
+        if incremental.dataset is not dataset:
+            raise ValueError(
+                "incremental builder is bound to a different dataset"
+            )
+        return incremental.refresh()
     if tracer is None:
         tracer = Tracer(registry=registry)
     if context is None:

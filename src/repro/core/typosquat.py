@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.dataset import ENSDataset
+from ..datasets.schema import DomainRecord
 from ..oracle.ethusd import EthUsdOracle
 from .context import AnalysisContext
 from .dropcatch import ReRegistration, find_reregistrations
@@ -24,6 +25,8 @@ from .features.transactional import extract_transactional
 __all__ = [
     "damerau_levenshtein",
     "within_edit_distance",
+    "screen_event",
+    "target_income",
     "TyposquatCandidate",
     "TyposquatReport",
     "find_typosquat_catches",
@@ -155,12 +158,8 @@ def find_typosquat_catches(
         events = access.reregistrations()
     targets: dict[str, float] = {}
     for domain in dataset.iter_domains():
-        if not domain.label_name or not domain.registrations:
-            continue
-        income = extract_transactional(
-            dataset, domain.registrations[0], oracle, context=access
-        ).income_usd
-        if income >= min_target_income_usd:
+        income = target_income(dataset, domain, oracle, access)
+        if income is not None and income >= min_target_income_usd:
             targets[domain.label_name] = income
     # hoist the per-target predicates; order must stay dict insertion
     # order — candidates keep the FIRST matching target
@@ -173,27 +172,70 @@ def find_typosquat_catches(
     for event in events:
         if event.name is None:
             continue
-        caught_label = event.name.removesuffix(".eth")
         screened += 1
-        caught_is_digit = caught_label.isdigit()
-        for target_label, income, target_is_digit in target_rows:
-            if target_label == caught_label:
-                continue
-            if exclude_numeric_pairs and caught_is_digit and target_is_digit:
-                continue
-            if within_edit_distance(caught_label, target_label, max_distance):
-                candidates.append(
-                    TyposquatCandidate(
-                        caught_label=caught_label,
-                        target_label=target_label,
-                        target_income_usd=income,
-                        distance=damerau_levenshtein(caught_label, target_label),
-                        new_owner=event.new_owner,
-                    )
-                )
-                break  # one (best-effort) target per catch
+        candidate = screen_event(
+            event,
+            target_rows,
+            max_distance=max_distance,
+            exclude_numeric_pairs=exclude_numeric_pairs,
+        )
+        if candidate is not None:
+            candidates.append(candidate)
     return TyposquatReport(
         candidates=tuple(candidates),
         catches_screened=screened,
         popular_targets=len(targets),
     )
+
+
+def target_income(
+    dataset: ENSDataset,
+    domain: DomainRecord,
+    oracle: EthUsdOracle,
+    access: AnalysisContext,
+) -> float | None:
+    """USD income of ``domain``'s first registration period, or ``None``.
+
+    ``None`` marks a domain that cannot be a typosquat target (no
+    label, no registrations). The per-domain unit of the popular-target
+    table: it depends only on the first registration's window and the
+    registrant wallet's *incoming* history — the dependency incremental
+    rebuilds key their memo on.
+    """
+    if not domain.label_name or not domain.registrations:
+        return None
+    return extract_transactional(
+        dataset, domain.registrations[0], oracle, context=access
+    ).income_usd
+
+
+def screen_event(
+    event: ReRegistration,
+    target_rows: list[tuple[str, float, bool]],
+    *,
+    max_distance: int = 1,
+    exclude_numeric_pairs: bool = True,
+) -> TyposquatCandidate | None:
+    """Screen one named dropcatch against the popular-target rows.
+
+    Returns the candidate for the FIRST matching target (target-row
+    order is significant), or ``None``. Depends only on the event and
+    the rows, so incremental rebuilds memoize per event and invalidate
+    on any target-table change.
+    """
+    caught_label = event.name.removesuffix(".eth")
+    caught_is_digit = caught_label.isdigit()
+    for target_label, income, target_is_digit in target_rows:
+        if target_label == caught_label:
+            continue
+        if exclude_numeric_pairs and caught_is_digit and target_is_digit:
+            continue
+        if within_edit_distance(caught_label, target_label, max_distance):
+            return TyposquatCandidate(
+                caught_label=caught_label,
+                target_label=target_label,
+                target_income_usd=income,
+                distance=damerau_levenshtein(caught_label, target_label),
+                new_owner=event.new_owner,
+            )
+    return None

@@ -6,6 +6,7 @@ Layout of a dataset directory::
     domains.jsonl        one DomainRecord per line
     transactions.jsonl   one TxRecord per line
     market_events.jsonl  one MarketEventRecord per line
+    deltas.jsonl         optional append log (one DatasetDelta per line)
     dataset.rcol         optional columnar container (``--store columnar``)
 
 The JSONL files are the canonical, diffable interchange format and are
@@ -13,6 +14,16 @@ always written. ``dataset.rcol`` is a packed columnar mirror of the
 same records (see :mod:`repro.datasets.columnar`): ``save_dataset(...,
 store="columnar")`` or :func:`pack_dataset` produce it, and
 ``load_dataset(..., store="columnar")`` memory-maps it for O(1) opens.
+
+``deltas.jsonl`` is the incremental ingestion channel: producers append
+one canonical-JSON :class:`~repro.datasets.delta.DatasetDelta` per line
+(:func:`append_delta`), and the object-store loader replays the log
+through :meth:`~repro.datasets.dataset.ENSDataset.apply_delta`, so a
+reloaded dataset's ``delta_cursor`` equals the number of complete log
+lines — the resume point for checkpointed streams. A torn trailing
+line (producer killed mid-write) is skipped on read and truncated away
+by the next append; the base JSONL files are never rewritten by the
+delta path.
 """
 
 from __future__ import annotations
@@ -27,11 +38,15 @@ from ..datasets.columnar import (
     write_columnar,
 )
 from ..datasets.dataset import ENSDataset
+from ..datasets.delta import DatasetDelta
 from ..datasets.schema import DomainRecord, MarketEventRecord, TxRecord
 from ..obs.log import get_logger
 
 __all__ = [
     "COLUMNAR_FILE",
+    "DELTAS_FILE",
+    "append_delta",
+    "load_deltas",
     "save_dataset",
     "load_dataset",
     "dataset_digest",
@@ -42,6 +57,9 @@ _DOMAINS_FILE = "domains.jsonl"
 _TRANSACTIONS_FILE = "transactions.jsonl"
 _MARKET_FILE = "market_events.jsonl"
 _META_FILE = "meta.json"
+
+#: Append log of :class:`~repro.datasets.delta.DatasetDelta` lines.
+DELTAS_FILE = "deltas.jsonl"
 
 #: Columnar container inside a dataset directory.
 COLUMNAR_FILE = f"dataset{COLUMNAR_SUFFIX}"
@@ -74,6 +92,74 @@ def _read_jsonl(path: Path, parse: Callable[[dict[str, Any]], Any]) -> list[Any]
                     f"{path.name}:{line_number}: malformed record ({exc})"
                 ) from exc
     return records
+
+
+def append_delta(directory: str | Path, delta: DatasetDelta) -> int:
+    """Append one delta line to ``deltas.jsonl``; return its line index.
+
+    The append is torn-write safe from both sides: before writing, any
+    unterminated trailing partial line (a producer killed mid-write) is
+    truncated away, and the new line is flushed and fsynced so a crash
+    after return cannot lose it. Returns the 1-based index of the
+    written line — equal to the dataset's ``delta_cursor`` after the
+    line is replayed, which is what checkpointed streams persist.
+    """
+    import os
+
+    directory = Path(directory)
+    path = directory / DELTAS_FILE
+    complete = 0
+    if path.exists():
+        raw = path.read_bytes()
+        keep = raw.rfind(b"\n") + 1
+        complete = raw.count(b"\n", 0, keep)
+        if keep != len(raw):
+            _log.info(
+                "delta.torn_line_truncated",
+                path=str(path),
+                dropped_bytes=len(raw) - keep,
+            )
+            with path.open("r+b") as handle:
+                handle.truncate(keep)
+    line = json.dumps(delta.as_dict(), sort_keys=True, separators=(",", ":"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return complete + 1
+
+
+def load_deltas(directory: str | Path) -> list[DatasetDelta]:
+    """Read the complete delta lines of a dataset directory, in order.
+
+    Only newline-terminated lines count: an unterminated tail is a torn
+    write and is skipped (the next :func:`append_delta` truncates it).
+    A malformed *terminated* line is real corruption and raises.
+    """
+    path = Path(directory) / DELTAS_FILE
+    if not path.exists():
+        return []
+    raw = path.read_bytes()
+    keep = raw.rfind(b"\n") + 1
+    if keep != len(raw):
+        _log.info(
+            "delta.torn_line_skipped",
+            path=str(path),
+            dropped_bytes=len(raw) - keep,
+        )
+    deltas: list[DatasetDelta] = []
+    for line_number, line in enumerate(
+        raw[:keep].decode("utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            deltas.append(DatasetDelta.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ValueError(
+                f"{path.name}:{line_number}: malformed delta ({exc})"
+            ) from exc
+    return deltas
 
 
 def save_dataset(
@@ -132,11 +218,23 @@ def pack_dataset(
     (default: ``dataset.rcol`` inside the directory) atomically.
     Returns the written path. ``registry``/``tracer`` feed the encode
     instrumentation (pool hit counters, ``columnar.encode`` span).
+
+    An in-place pack is also the delta-log compaction point: the log's
+    records were replayed into the loaded graph, so the base JSONL
+    files are rewritten to include them and ``deltas.jsonl`` is removed
+    — otherwise later columnar loads would treat the fresh container
+    as stale. Packing to an external ``out`` leaves the source
+    directory untouched.
     """
     directory = Path(directory)
     dataset = load_dataset(directory)
     target = Path(out) if out is not None else directory / COLUMNAR_FILE
-    return write_columnar(dataset, target, registry=registry, tracer=tracer)
+    packed = write_columnar(dataset, target, registry=registry, tracer=tracer)
+    deltas_path = directory / DELTAS_FILE
+    if out is None and deltas_path.exists():
+        save_dataset(dataset, directory)
+        deltas_path.unlink()
+    return packed
 
 
 def dataset_digest(dataset: ENSDataset | ColumnarDataset) -> str:
@@ -189,7 +287,21 @@ def load_dataset(
     if store == "columnar":
         packed = directory / COLUMNAR_FILE
         if packed.exists():
-            return ColumnarDataset.open(packed, registry=registry, tracer=tracer)
+            if load_deltas(directory):
+                # The packed container predates the append log; serving
+                # it would drop the appended records. Encode in memory
+                # from the replayed object graph instead (repack with
+                # `repro dataset pack` to restore O(1) opens).
+                _log.info(
+                    "columnar.stale_pack",
+                    directory=str(directory),
+                    hint="deltas.jsonl present; ignoring dataset.rcol -"
+                    " run `repro dataset pack` to fold the log in",
+                )
+            else:
+                return ColumnarDataset.open(
+                    packed, registry=registry, tracer=tracer
+                )
         _log.info(
             "columnar.pack_hint",
             directory=str(directory),
@@ -216,4 +328,8 @@ def load_dataset(
     dataset.add_market_events(
         _read_jsonl(directory / _MARKET_FILE, MarketEventRecord.from_dict)
     )
+    # Replay the append log so delta_cursor == the number of complete
+    # log lines — checkpointed streams resume from exactly that index.
+    for delta in load_deltas(directory):
+        dataset.apply_delta(delta)
     return dataset

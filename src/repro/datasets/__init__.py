@@ -13,13 +13,17 @@ from .columnar import (
     encode_dataset,
     write_columnar,
 )
-from .dataset import DatasetIntegrityError, ENSDataset
+from .dataset import DELTA_LOG_LIMIT, DatasetIntegrityError, ENSDataset
+from .delta import AppliedDelta, DatasetDelta
 from .schema import DomainRecord, MarketEventRecord, RegistrationRecord, TxRecord
 
 __all__ = [
+    "AppliedDelta",
     "ColumnarDataset",
     "ColumnarFormatError",
     "ColumnarImmutableError",
+    "DELTA_LOG_LIMIT",
+    "DatasetDelta",
     "DatasetIntegrityError",
     "DomainRecord",
     "ENSDataset",

@@ -16,13 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from .delta import AppliedDelta, DatasetDelta
 from .schema import DomainRecord, MarketEventRecord, TxRecord
 
-__all__ = ["ENSDataset", "DatasetIntegrityError"]
+__all__ = ["DELTA_LOG_LIMIT", "ENSDataset", "DatasetIntegrityError"]
 
 
 class DatasetIntegrityError(ValueError):
     """The dataset violates a structural invariant."""
+
+
+#: Maximum retained append-log entries. A consumer more than this many
+#: deltas behind cannot chain forward and falls back to a full rebuild —
+#: the log bounds memory, not correctness.
+DELTA_LOG_LIMIT = 256
 
 
 #: Data attributes whose wholesale replacement (``dataset.transactions =
@@ -64,6 +71,10 @@ class ENSDataset:
     _names_token: tuple[int, int] | None = field(
         default=None, repr=False, compare=False
     )
+    _delta_log: list[AppliedDelta] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _delta_cursor: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # From here on, __setattr__ treats tracked-field assignment as a
@@ -136,6 +147,91 @@ class ENSDataset:
         """Append market events to the dataset."""
         self.market_events.extend(records)
         self._version += 1
+
+    # -- delta ingestion -----------------------------------------------------------
+
+    @property
+    def delta_cursor(self) -> int:
+        """Monotonic count of deltas ever applied to this dataset.
+
+        Independent of :attr:`version` (which also moves on out-of-band
+        mutations) and of log truncation — the cursor of the newest
+        retained :class:`AppliedDelta` entry always equals this value.
+        """
+        return self._delta_cursor
+
+    def apply_delta(self, delta: DatasetDelta) -> AppliedDelta:
+        """Append one delta batch through the ordinary mutators, logged.
+
+        Routes domain upserts through :meth:`add_domain`, transactions
+        through :meth:`add_transactions` (hash-dedup applies), and
+        market events through :meth:`add_market_events`, then records
+        the *effective* delta — duplicate transactions stripped — as an
+        :class:`AppliedDelta` chain entry. Returns that entry so callers
+        (the analysis context, the serve watcher) can mirror exactly
+        what the dataset gained.
+        """
+        version_before = self._version
+        replaced = tuple(
+            record.domain_id
+            for record in delta.domains
+            if record.domain_id in self.domains
+        )
+        for record in delta.domains:
+            self.add_domain(record)
+        if delta.transactions:
+            appended_from = len(self.transactions)
+            self.add_transactions(delta.transactions)
+            effective_txs = tuple(self.transactions[appended_from:])
+        else:
+            effective_txs = ()
+        if delta.market_events:
+            self.add_market_events(delta.market_events)
+        effective = DatasetDelta(
+            domains=delta.domains,
+            transactions=effective_txs,
+            market_events=tuple(delta.market_events),
+            label=delta.label,
+        )
+        object.__setattr__(self, "_delta_cursor", self._delta_cursor + 1)
+        applied = AppliedDelta(
+            cursor=self._delta_cursor,
+            version_before=version_before,
+            version_after=self._version,
+            delta=effective,
+            replaced_domains=replaced,
+        )
+        self._delta_log.append(applied)
+        if len(self._delta_log) > DELTA_LOG_LIMIT:
+            del self._delta_log[: len(self._delta_log) - DELTA_LOG_LIMIT]
+        return applied
+
+    def deltas_since(
+        self, cursor: int, version: int
+    ) -> tuple[AppliedDelta, ...] | None:
+        """The unbroken delta chain from ``(cursor, version)`` to now.
+
+        Returns the :class:`AppliedDelta` entries a consumer that last
+        synced at delta ``cursor`` (observing dataset ``version``) must
+        replay to catch up, or ``None`` when no valid chain exists —
+        the consumer is older than the retained log, or an out-of-band
+        mutation (any version move without a log entry) happened before,
+        between, or after the logged deltas. ``None`` means "do a full
+        rebuild"; an empty tuple means "already current".
+        """
+        if cursor == self._delta_cursor:
+            return () if version == self._version else None
+        entries = [entry for entry in self._delta_log if entry.cursor > cursor]
+        if not entries or entries[0].cursor != cursor + 1:
+            return None  # truncated past the consumer's position
+        if entries[0].version_before != version:
+            return None  # unlogged mutation before the first needed delta
+        for earlier, later in zip(entries, entries[1:]):
+            if later.version_before != earlier.version_after:
+                return None  # unlogged mutation between deltas
+        if entries[-1].version_after != self._version:
+            return None  # unlogged mutation after the newest delta
+        return tuple(entries)
 
     # -- indexes -------------------------------------------------------------------
 

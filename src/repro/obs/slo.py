@@ -289,13 +289,40 @@ _SERVE_SLOS = (
     ),
 )
 
+#: Incremental-ingestion health: applying a delta must stay far below a
+#: cold rebuild (the O(delta + dirty items) contract of
+#: :class:`~repro.core.increport.IncrementalReportBuilder`), and a
+#: delta-aware run must never fall back to a full rebuild more often
+#: than it applies deltas. The duration bound reads the p99 of the
+#: ``delta.apply`` span histogram, so a single slow cold refresh (the
+#: warm-up) cannot trip it.
+_DELTA_SLOS = (
+    SLO(
+        name="delta_apply_p99",
+        metric="span_duration_seconds",
+        labels={"span": "delta.apply"},
+        objective="p99",
+        threshold=30.0,
+        description="p99 incremental report refresh stays under 30s",
+    ),
+    SLO(
+        name="delta_apply_max",
+        metric="span_duration_seconds",
+        labels={"span": "delta.apply"},
+        objective="max",
+        threshold=120.0,
+        description="no single delta apply (incl. the cold warm-up"
+        " refresh) exceeds 2 minutes",
+    ),
+)
+
 _DEFAULT_SLOS: dict[str, tuple[SLO, ...]] = {
     "simulate": _CRAWL_SLOS + _COLUMNAR_SLOS,
     "crawl": _CRAWL_SLOS + _COLUMNAR_SLOS,
     "analyze": _ANALYZE_SLOS + _COLUMNAR_SLOS,
     "report": _CRAWL_SLOS + _ANALYZE_SLOS + _COLUMNAR_SLOS,
-    "dataset": _COLUMNAR_SLOS,
-    "serve": _SERVE_SLOS + _COLUMNAR_SLOS,
+    "dataset": _COLUMNAR_SLOS + _DELTA_SLOS,
+    "serve": _SERVE_SLOS + _COLUMNAR_SLOS + _DELTA_SLOS,
 }
 
 

@@ -12,7 +12,9 @@ no new dependencies.
 * :mod:`repro.serve.server` — the threaded HTTP listener with graceful
   drain,
 * :mod:`repro.serve.loadgen` — the threaded load generator behind
-  ``--load-gen`` and the throughput benchmark.
+  ``--load-gen`` and the throughput benchmark,
+* :mod:`repro.serve.watch` — the ``--watch`` poller feeding on-disk
+  delta appends into the running app.
 
 See ``docs/SERVING.md`` for endpoints, cache semantics, and SLOs.
 """
@@ -21,9 +23,11 @@ from .app import ReproApp, Response
 from .loadgen import DEFAULT_PATHS, LoadStats, run_load
 from .query import QueryCache, canonical_query
 from .server import ReproServer
+from .watch import DatasetWatcher
 
 __all__ = [
     "DEFAULT_PATHS",
+    "DatasetWatcher",
     "LoadStats",
     "QueryCache",
     "ReproApp",

@@ -36,6 +36,17 @@ byte-stable across runs and non-finite floats encode as ``null``.
 Cacheable responses (everything except ``/healthz`` and ``/metrics``)
 are computed under one lock: concurrent identical queries produce
 exactly one miss and N-1 hits, which the concurrency harness checks.
+
+Report responses (``/report``, ``/report/<section>``) carry a strong
+``ETag`` derived from the dataset version/delta-cursor token; a request
+whose ``If-None-Match`` matches is answered ``304 Not Modified`` with
+an empty body (counted in ``serve_not_modified_total``). Dataset deltas
+applied through :meth:`ReproApp.apply_deltas` (the ``--watch`` path)
+refresh the report incrementally via an
+:class:`~repro.core.increport.IncrementalReportBuilder` and migrate the
+response cache selectively — a transactions-only delta keeps the
+``/domain/*`` and ``/query/dropcatch`` entries, which such a delta
+provably cannot affect — instead of dropping every entry.
 """
 
 from __future__ import annotations
@@ -48,12 +59,14 @@ from ..chain.errors import InvalidName
 from ..core.context import AnalysisContext
 from ..core.dropcatch import ReRegistration
 from ..core.hijackable import find_hijackable
+from ..core.increport import IncrementalReportBuilder
 from ..core.report import (
     HeadlineReport,
     build_report,
     canonical_json,
     report_json,
 )
+from ..datasets.delta import DatasetDelta
 from ..datasets.columnar import ColumnarDataset
 from ..datasets.dataset import ENSDataset
 from ..obs.log import get_logger
@@ -66,6 +79,7 @@ from .query import QueryCache, canonical_query
 
 __all__ = [
     "ERRORS_METRIC",
+    "NOT_MODIFIED_METRIC",
     "REQUESTS_METRIC",
     "REQUEST_SECONDS_ALL_METRIC",
     "REQUEST_SECONDS_METRIC",
@@ -86,6 +100,9 @@ REQUEST_SECONDS_ALL_METRIC = "serve_request_all_seconds"
 #: reads 0.0 instead of "no data" on a clean run).
 ERRORS_METRIC = "serve_errors_total"
 
+#: Conditional requests answered 304 via an If-None-Match ETag hit.
+NOT_MODIFIED_METRIC = "serve_not_modified_total"
+
 _TEXT = "text/plain; charset=utf-8"
 _PROM = "text/plain; version=0.0.4; charset=utf-8"
 _JSON = "application/json"
@@ -95,11 +112,25 @@ _log = get_logger("serve.app")
 
 @dataclass(frozen=True, slots=True)
 class Response:
-    """One finished HTTP response: status, content type, body bytes."""
+    """One finished HTTP response: status, content type, body bytes.
+
+    ``headers`` carries extra response headers (beyond ``Content-Type``
+    / ``Content-Length``, which the listener derives) — currently the
+    ``ETag`` on report endpoints.
+    """
 
     status: int
     content_type: str
     body: bytes
+    headers: tuple[tuple[str, str], ...] = ()
+
+    def header(self, name: str) -> str | None:
+        """The value of one extra header, case-insensitive, or ``None``."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
 
 
 def _json_response(payload: object, status: int = 200) -> Response:
@@ -127,6 +158,24 @@ def _endpoint_class(path: str) -> str:
     if head in ("healthz", "metrics"):
         return head
     return "other"
+
+
+def _keep_nothing(key: str) -> bool:
+    """Migration predicate dropping every cache entry."""
+    return False
+
+
+def _unaffected_by_tx_delta(key: str) -> bool:
+    """Cache entries a transactions-only delta provably cannot change.
+
+    ``/domain/<name>`` bodies read the domain record and its
+    re-registration events; ``/query/dropcatch`` reads only the events.
+    Both are pure functions of the domain records, which a
+    transactions-only delta leaves untouched. Everything else
+    (``/report*``, ``/query/hijackable``) reads transaction windows.
+    """
+    path = key.partition("?")[0]
+    return path == "/query/dropcatch" or path.startswith("/domain/")
 
 
 def _event_payload(event: ReRegistration) -> dict[str, object]:
@@ -190,23 +239,38 @@ class ReproApp:
         self._errors = self.registry.counter(
             ERRORS_METRIC, "Responses with a 5xx status"
         )
+        self._not_modified = self.registry.counter(
+            NOT_MODIFIED_METRIC,
+            "Conditional requests answered 304 via an If-None-Match hit",
+        )
         self._inflight = self.registry.gauge(
             "serve_inflight_requests", "Requests currently being handled"
         )
         warm_tracer = tracer if tracer is not None else Tracer(registry=self.registry)
+        self._tracer = warm_tracer
         with warm_tracer.span("serve.warmup"):
             self.context = AnalysisContext(
                 dataset, self.oracle, registry=self.registry
             )
-            self._report: HeadlineReport = build_report(
-                dataset,
-                self.oracle,
-                seed=seed,
-                registry=self.registry,
-                tracer=warm_tracer,
-                context=self.context,
-                executor=executor,
-            )
+            if executor is not None and executor.workers > 1:
+                # Parallel warm-up: fan the cold build out; the builder
+                # (and its memos) is created lazily on the first delta.
+                self._builder: IncrementalReportBuilder | None = None
+                self._report: HeadlineReport = build_report(
+                    dataset,
+                    self.oracle,
+                    seed=seed,
+                    registry=self.registry,
+                    tracer=warm_tracer,
+                    context=self.context,
+                    executor=executor,
+                )
+            else:
+                # Serial warm-up doubles as the memo-populating cold
+                # refresh, so the very first delta already applies in
+                # O(delta + dirty items).
+                self._builder = self._make_builder(warm_tracer)
+                self._report = self._builder.refresh()
             self._report_token = self._token()
         _log.info(
             "serve.warm",
@@ -214,56 +278,130 @@ class ReproApp:
             transactions=len(dataset.transactions),
         )
 
+    def _make_builder(self, tracer: Tracer) -> IncrementalReportBuilder:
+        """An incremental builder sharing the app's warm context."""
+        return IncrementalReportBuilder(
+            self.dataset,
+            self.oracle,
+            seed=self.seed,
+            registry=self.registry,
+            tracer=tracer,
+            context=self.context,
+        )
+
     # -- versioning --------------------------------------------------------
 
-    def _token(self) -> tuple[int, int, int, int]:
-        """The dataset version token cache entries are keyed on."""
+    def _token(self) -> tuple[int, int, int, int, int]:
+        """The dataset version token cache entries are keyed on.
+
+        The classic fingerprint (monotonic version + collection sizes)
+        plus the delta cursor, so a token encodes *how* the dataset
+        reached its state — the handle delta-aware cache migration and
+        report ETags key on.
+        """
         dataset = self.dataset
         return (
             dataset.version,
             len(dataset.domains),
             len(dataset.transactions),
             len(dataset.market_events),
+            getattr(dataset, "delta_cursor", 0),
         )
 
-    def _report_for(self, token: tuple[int, int, int, int]) -> HeadlineReport:
+    def _etag(self, token: tuple[int, ...]) -> str:
+        """Strong ETag for report endpoints under ``token``."""
+        return '"' + "-".join(str(part) for part in token) + '"'
+
+    def _report_for(self, token: tuple[int, ...]) -> HeadlineReport:
         """The headline report for the current dataset state.
 
-        Rebuilt (rarely) when the dataset mutated since warm-up;
+        Refreshed when the dataset mutated since warm-up — in O(delta +
+        dirty items) through the incremental builder when the mutation
+        came through the delta log, via a full rebuild otherwise;
         callers hold the app lock.
         """
         if token != self._report_token:
-            self.context = AnalysisContext(
-                self.dataset, self.oracle, registry=self.registry
-            )
-            self._report = build_report(
-                self.dataset,
-                self.oracle,
-                seed=self.seed,
-                registry=self.registry,
-                tracer=Tracer(registry=self.registry),
-                context=self.context,
-            )
+            if self._builder is None:
+                self._builder = self._make_builder(
+                    Tracer(registry=self.registry)
+                )
+            self._report = self._builder.refresh()
             self._report_token = token
         return self._report
 
+    # -- delta ingestion ---------------------------------------------------
+
+    def apply_deltas(self, deltas: "list[DatasetDelta]") -> None:
+        """Apply dataset deltas and refresh serve state in O(delta).
+
+        The ``--watch`` ingestion path: appends every delta to the live
+        dataset, refreshes the headline report through the incremental
+        builder, and *migrates* the response cache to the new token —
+        a transactions-only batch keeps the ``/domain/*`` and
+        ``/query/dropcatch`` entries (their payloads read only domain
+        records and re-registration events), anything touching domains
+        or market events drops everything. Requires the mutable object
+        store (:class:`~repro.datasets.columnar.ColumnarDataset` is
+        read-only).
+        """
+        if not deltas:
+            return
+        with self._lock:
+            apply = getattr(self.dataset, "apply_delta", None)
+            if apply is None:
+                raise TypeError(
+                    "apply_deltas requires a mutable ENSDataset"
+                    " (columnar stores are read-only)"
+                )
+            domains_touched = any(delta.domains for delta in deltas)
+            market_touched = any(delta.market_events for delta in deltas)
+            for delta in deltas:
+                apply(delta)
+            token = self._token()
+            self._report_for(token)
+            if domains_touched or market_touched:
+                keep = _keep_nothing
+            else:
+                keep = _unaffected_by_tx_delta
+            self._cache.migrate(token, keep)
+            _log.info(
+                "serve.deltas_applied",
+                deltas=len(deltas),
+                records=sum(delta.record_count for delta in deltas),
+                cache_entries=len(self._cache),
+            )
+
     # -- dispatch ----------------------------------------------------------
 
-    def handle(self, method: str, target: str) -> Response:
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: "dict[str, str] | None" = None,
+    ) -> Response:
         """Serve one request; always returns a :class:`Response`.
 
         ``target`` is the raw request target (path plus optional query
-        string). Unexpected exceptions become a 500 — they are logged
-        and counted, never propagated into the listener thread.
+        string); ``headers`` carries the request headers the app acts
+        on (currently ``If-None-Match``). Unexpected exceptions become
+        a 500 — they are logged and counted, never propagated into the
+        listener thread.
         """
         parts = urlsplit(target)
         endpoint = _endpoint_class(parts.path)
+        if_none_match = None
+        if headers:
+            for name, value in headers.items():
+                if name.lower() == "if-none-match":
+                    if_none_match = value.strip()
         with self._lock:
             self._inflight.inc()
         timer = Tracer()
         try:
             with timer.span("serve.request"):
-                response = self._route(method, parts.path, parts.query)
+                response = self._route(
+                    method, parts.path, parts.query, if_none_match
+                )
         except Exception as exc:  # noqa: BLE001 - boundary: keep serving
             _log.error(
                 "serve.request_failed",
@@ -283,7 +421,13 @@ class ReproApp:
                 self._latency_all.observe(duration)
         return response
 
-    def _route(self, method: str, path: str, query: str) -> Response:
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: str,
+        if_none_match: str | None = None,
+    ) -> Response:
         """Dispatch one parsed request to its endpoint."""
         if method != "GET":
             return _error(405, f"method {method} not allowed (GET only)")
@@ -301,10 +445,21 @@ class ReproApp:
             cached = self._cache.lookup(token, key)
             if cached is not None:
                 assert isinstance(cached, Response)
-                return cached
-            response = self._compute(key, token)
-            if response.status == 200:
-                self._cache.store(token, key, response)
+                response = cached
+            else:
+                response = self._compute(key, token)
+                if response.status == 200:
+                    self._cache.store(token, key, response)
+            etag = response.header("ETag")
+            if (
+                etag is not None
+                and if_none_match is not None
+                and if_none_match in (etag, "*")
+            ):
+                self._not_modified.inc()
+                return Response(
+                    304, response.content_type, b"", (("ETag", etag),)
+                )
         return response
 
     # -- endpoint bodies ---------------------------------------------------
@@ -323,7 +478,12 @@ class ReproApp:
         segments = [unquote(part) for part in path.split("/") if part]
         if path == "/report":
             report = self._report_for(token)
-            return Response(200, _JSON, report_json(report).encode("utf-8"))
+            return Response(
+                200,
+                _JSON,
+                report_json(report).encode("utf-8"),
+                (("ETag", self._etag(token)),),
+            )
         if len(segments) == 2 and segments[0] == "report":
             payload = self._report_for(token).as_dict()
             section = segments[1]
@@ -332,7 +492,10 @@ class ReproApp:
                 return _error(
                     404, f"unknown report section {section!r} (one of: {known})"
                 )
-            return _json_response(payload[section])
+            body = canonical_json(payload[section]).encode("utf-8")
+            return Response(
+                200, _JSON, body, (("ETag", self._etag(token)),)
+            )
         if len(segments) == 2 and segments[0] == "domain":
             return self._domain(segments[1])
         if path == "/query/dropcatch":

@@ -19,6 +19,7 @@ harness asserts.
 
 from __future__ import annotations
 
+from typing import Callable
 from urllib.parse import parse_qsl, quote, unquote
 
 from ..ens.normalize import normalize_name
@@ -26,6 +27,7 @@ from ..obs.metrics import MetricsRegistry
 
 __all__ = [
     "CACHE_INVALIDATIONS_METRIC",
+    "CACHE_MIGRATED_METRIC",
     "CACHE_REQUESTS_METRIC",
     "DOMAIN_PARAMS",
     "QueryCache",
@@ -37,6 +39,9 @@ CACHE_REQUESTS_METRIC = "serve_cache_requests_total"
 
 #: Times the cache dropped every entry because the dataset version moved.
 CACHE_INVALIDATIONS_METRIC = "serve_cache_invalidations_total"
+
+#: Entries handled by a selective migration, by outcome (kept/dropped).
+CACHE_MIGRATED_METRIC = "serve_cache_migrated_entries_total"
 
 #: Query parameters whose values are ENS names (normalized into the key).
 DOMAIN_PARAMS = frozenset({"name", "domain"})
@@ -116,6 +121,14 @@ class QueryCache:
             "Times the serve response cache dropped all entries on a"
             " dataset version change",
         )
+        migrated = registry.counter(
+            CACHE_MIGRATED_METRIC,
+            "Serve response-cache entries handled by a selective"
+            " migration, by outcome",
+            labels=("outcome",),
+        )
+        self._migrated_kept = migrated.labels(outcome="kept")
+        self._migrated_dropped = migrated.labels(outcome="dropped")
         self._token: tuple[int, ...] | None = None
         self._entries: dict[str, object] = {}
 
@@ -146,3 +159,30 @@ class QueryCache:
         """Remember ``response`` for ``key``, unless ``token`` went stale."""
         if token == self._token:
             self._entries[key] = response
+
+    def migrate(
+        self, token: tuple[int, ...], keep: "Callable[[str], bool]"
+    ) -> None:
+        """Move to ``token``, carrying over the entries ``keep`` accepts.
+
+        The delta-aware alternative to the wholesale drop in
+        :meth:`lookup`: a caller that knows *what* a dataset mutation
+        touched (e.g. a transactions-only delta) migrates the cache to
+        the new token, keeping only the entries whose canonical query
+        the mutation provably cannot affect (``keep(key) -> bool``).
+        Counts each entry as ``kept`` or ``dropped`` in
+        ``serve_cache_migrated_entries_total``; does not count a
+        wholesale invalidation. A no-op when the token is unchanged.
+        """
+        if token == self._token:
+            return
+        carried = {
+            key: entry for key, entry in self._entries.items() if keep(key)
+        }
+        dropped = len(self._entries) - len(carried)
+        if carried:
+            self._migrated_kept.inc(len(carried))
+        if dropped:
+            self._migrated_dropped.inc(dropped)
+        self._entries = carried
+        self._token = token

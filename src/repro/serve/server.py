@@ -55,10 +55,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond("POST")
 
     def _respond(self, method: str) -> None:
-        response = self.app.handle(method, self.path)
+        response = self.app.handle(method, self.path, dict(self.headers))
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(response.body)
 

@@ -11,6 +11,7 @@ from .calibration import PAPER, PaperTargets, ratio_close
 from .config import ScenarioConfig
 from .names import GeneratedName, NameGenerator
 from .scenario import ScenarioWorld, run_scenario
+from .stream import ScenarioStream, stream_scenario
 
 __all__ = [
     "DomainScript",
@@ -21,9 +22,11 @@ __all__ = [
     "PAPER",
     "PaperTargets",
     "ScenarioConfig",
+    "ScenarioStream",
     "ScenarioWorld",
     "SenderProfile",
     "TrueCatch",
     "ratio_close",
     "run_scenario",
+    "stream_scenario",
 ]

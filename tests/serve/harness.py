@@ -34,11 +34,20 @@ CLIENT_TIMEOUT = 60.0
 
 @dataclass(frozen=True)
 class ClientResult:
-    """One observed exchange: requested path, response status, body."""
+    """One observed exchange: path, status, body, response headers."""
 
     path: str
     status: int
     body: bytes
+    headers: tuple[tuple[str, str], ...] = ()
+
+    def header(self, name: str) -> str | None:
+        """One response header value, case-insensitive, or ``None``."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
 
 
 def canonical_key(path: str) -> str:
@@ -95,17 +104,29 @@ class ServeHarness:
     def port(self) -> int:
         return self.server.port
 
-    def get(self, path: str) -> ClientResult:
+    def get(
+        self, path: str, headers: dict[str, str] | None = None
+    ) -> ClientResult:
         """One GET on a fresh connection."""
-        return self.request("GET", path)
+        return self.request("GET", path, headers=headers)
 
-    def request(self, method: str, path: str) -> ClientResult:
+    def request(
+        self,
+        method: str,
+        path: str,
+        headers: dict[str, str] | None = None,
+    ) -> ClientResult:
         """One request on a fresh connection (any method, for 405 tests)."""
         conn = HTTPConnection(self.host, self.port, timeout=CLIENT_TIMEOUT)
         try:
-            conn.request(method, path)
+            conn.request(method, path, headers=headers or {})
             response = conn.getresponse()
-            return ClientResult(path, response.status, response.read())
+            return ClientResult(
+                path,
+                response.status,
+                response.read(),
+                tuple(response.getheaders()),
+            )
         finally:
             conn.close()
 

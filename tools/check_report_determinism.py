@@ -5,7 +5,7 @@ Usage::
     python tools/check_report_determinism.py \
         [--domains 120] [--seed 5] [--workers 1,4] [--stores object] \
         [--golden tests/golden/report_digests.json] [--update-golden] \
-        [--serve]
+        [--serve] [--incremental] [--batches 6]
 
 Runs the full ``repro report`` pipeline (scenario crawl + analysis)
 once per (store, worker-count) pair through the real CLI entry point,
@@ -30,6 +30,17 @@ a change that is self-consistent across worker counts but silently
 alters the analysis output. Refresh the golden intentionally with
 ``--update-golden`` when the output is *supposed* to change.
 
+With ``--incremental`` the gate switches to the streamed-determinism
+matrix: the same scenario is sliced into ``--batches`` block-batches
+(:func:`repro.simulation.stream.stream_scenario`), applied one delta at
+a time to a live dataset whose report is refreshed through
+:class:`~repro.core.increport.IncrementalReportBuilder`, and at *every*
+step the incrementally refreshed bytes must equal a cold
+``build_report`` of the replayed prefix — across every requested store
+and worker count. This is the gate that keeps O(delta) cache patching
+honest: an incremental refresh may be faster than a rebuild, never
+different.
+
 Exit codes (``2`` is left to argparse):
 
 * ``0`` — identical across worker counts and matching the golden.
@@ -38,6 +49,9 @@ Exit codes (``2`` is left to argparse):
 * ``4`` — golden file missing/unreadable (run ``--update-golden``).
 * ``5`` — a served ``/report`` body differs from the CLI bytes
   (``--serve`` only).
+* ``6`` — an incrementally refreshed report diverged from the cold
+  rebuild at some step (``--incremental`` only; the first divergent
+  step and matrix cell are printed).
 """
 
 from __future__ import annotations
@@ -53,6 +67,7 @@ EXIT_WORKER_MISMATCH = 1
 EXIT_GOLDEN_DRIFT = 3
 EXIT_GOLDEN_MISSING = 4
 EXIT_SERVE_MISMATCH = 5
+EXIT_INCREMENTAL_DIVERGENCE = 6
 
 DEFAULT_GOLDEN = Path(__file__).resolve().parent.parent / (
     "tests/golden/report_digests.json"
@@ -123,6 +138,69 @@ def served_report(domains: int, seed: int, stores: list[str]) -> dict[str, bytes
     return bodies
 
 
+def check_incremental(
+    domains: int, seed: int, batches: int, stores: list[str], workers: list[int]
+) -> int:
+    """The streamed-determinism matrix (``--incremental``).
+
+    One live dataset consumes the scenario's deltas batch by batch; its
+    incrementally refreshed report must be byte-identical to a cold
+    ``build_report`` of the replayed prefix at every step, for every
+    (store, workers) cell. Returns an exit code.
+    """
+    from repro.core import IncrementalReportBuilder, build_report
+    from repro.core.report import report_json
+    from repro.datasets import ColumnarDataset
+    from repro.parallel import resolve_executor
+    from repro.simulation import ScenarioConfig, stream_scenario
+
+    stream = stream_scenario(
+        ScenarioConfig(n_domains=domains, seed=seed), batches=batches
+    )
+    live = stream.empty_dataset()
+    builder = IncrementalReportBuilder(live, stream.oracle, seed=0)
+    for step, delta in enumerate(stream.deltas, start=1):
+        live.apply_delta(delta)
+        incremental = report_json(builder.refresh()).encode("utf-8")
+        for store in stores:
+            cold_dataset = stream.replay(step)
+            if store == "columnar":
+                cold_dataset = ColumnarDataset.from_dataset(cold_dataset)
+            for count in workers:
+                cold = report_json(
+                    build_report(
+                        cold_dataset,
+                        stream.oracle,
+                        seed=0,
+                        executor=resolve_executor(count),
+                    )
+                ).encode("utf-8")
+                if cold != incremental:
+                    print(
+                        f"\nFAIL: step {step}/{len(stream.deltas)}"
+                        f" ({delta.label}): incremental refresh"
+                        f" ({len(incremental)} bytes, sha256="
+                        f"{hashlib.sha256(incremental).hexdigest()[:16]}…)"
+                        f" != cold rebuild at store={store}"
+                        f" workers={count} ({len(cold)} bytes, sha256="
+                        f"{hashlib.sha256(cold).hexdigest()[:16]}…) — the"
+                        " delta cache patching diverged from a rebuild"
+                    )
+                    return EXIT_INCREMENTAL_DIVERGENCE
+        print(
+            f"step {step}/{len(stream.deltas)} ({delta.label}):"
+            f" incremental == cold across stores={stores}"
+            f" x workers={workers}, sha256="
+            f"{hashlib.sha256(incremental).hexdigest()[:16]}…"
+        )
+    print(
+        f"incremental refresh byte-identical to cold rebuilds at every"
+        f" step (batches={len(stream.deltas)}, stores={stores},"
+        f" workers={workers})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--domains", type=int, default=120)
@@ -155,9 +233,27 @@ def main(argv: list[str] | None = None) -> int:
         help="also fetch /report from a live repro serve instance per store"
         " and require byte identity with the CLI output",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="streamed-determinism mode: apply the scenario as"
+        " --batches block-batched deltas and require the incrementally"
+        " refreshed report to match a cold rebuild at every step",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=6,
+        help="block-batches to slice the scenario into (--incremental)",
+    )
     args = parser.parse_args(argv)
     worker_counts = [int(part) for part in args.workers.split(",") if part]
     stores = [part.strip() for part in args.stores.split(",") if part.strip()]
+
+    if args.incremental:
+        return check_incremental(
+            args.domains, args.seed, args.batches, stores, worker_counts
+        )
 
     matrix = [(store, workers) for store in stores for workers in worker_counts]
     outputs: dict[tuple[str, int], bytes] = {}
